@@ -1,0 +1,84 @@
+// Command experiments regenerates the paper's evaluation figures and tables
+// on the synthetic workload catalog.
+//
+// Usage:
+//
+//	experiments [-n requests] [-run id]
+//
+// where id is one of: all, fig2, fig4, fig5, fig7, fig8, fig9, fig10,
+// tab-ipc, tab-traffic, tab-storage.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	n := flag.Int("n", 800_000, "requests per application trace")
+	warmup := flag.Float64("warmup", 0.2, "fraction of each trace run before statistics start (0 < w < 0.9; negative disables)")
+	run := flag.String("run", "all", "experiment id (all, fig2, fig4, fig5, fig7, fig8, fig9, fig9b, fig10, tab-ipc, tab-traffic, tab-storage, cache-study, abl-coord, abl-dist, abl-pt, csv)")
+	flag.Parse()
+
+	opts := experiments.Options{Requests: *n, Warmup: *warmup}
+	w := os.Stdout
+	var err error
+	switch *run {
+	case "all":
+		err = experiments.RunAll(w, opts)
+	case "fig2":
+		experiments.Fig2(w, opts)
+	case "fig4":
+		experiments.Fig4(w, opts)
+	case "fig5":
+		experiments.Fig5(w, opts)
+	case "fig7":
+		_, err = experiments.Fig7(w, opts)
+	case "fig8", "tab-ipc", "tab-traffic", "fig10":
+		r, e := experiments.Fig7(w, opts)
+		if e != nil {
+			err = e
+			break
+		}
+		switch *run {
+		case "fig8":
+			experiments.Fig8(w, r)
+		case "tab-ipc":
+			experiments.TableIPC(w, r)
+		case "tab-traffic":
+			experiments.TableTraffic(w, r)
+		case "fig10":
+			experiments.Fig10(w, r)
+		}
+	case "fig9":
+		_, _, err = experiments.Fig9(w, opts)
+	case "fig9b":
+		_, err = experiments.Fig9b(w, opts)
+	case "tab-storage":
+		experiments.TableStorage(w)
+	case "cache-study":
+		_, err = experiments.CacheStudy(w, opts, nil)
+	case "abl-coord":
+		_, err = experiments.AblationCoordinator(w, opts)
+	case "abl-dist":
+		_, err = experiments.AblationDistance(w, opts, nil)
+	case "abl-pt":
+		_, err = experiments.AblationPTSize(w, opts, nil)
+	case "csv":
+		r, e := experiments.Sweep(experiments.EvalPrefetchers, opts)
+		if e != nil {
+			err = e
+			break
+		}
+		err = experiments.WriteCSV(w, r)
+	default:
+		err = fmt.Errorf("unknown experiment %q", *run)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,76 @@
+// Command planaria-sim runs the memory-system simulator on one workload (a
+// catalog app or a trace file) under one prefetcher and prints the full
+// report.
+//
+// Usage:
+//
+//	planaria-sim -app CFM -pf planaria -n 400000
+//	planaria-sim -trace trace.bin -pf spp
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/workloads"
+)
+
+func main() {
+	app := flag.String("app", "CFM", "catalog application abbreviation (see Table 2)")
+	traceFile := flag.String("trace", "", "binary trace file (overrides -app)")
+	pf := flag.String("pf", "planaria", fmt.Sprintf("prefetcher %v", sim.PrefetcherNames()))
+	n := flag.Int("n", 800_000, "requests to generate when using -app")
+	verbose := flag.Bool("v", false, "print detailed DRAM/cache counters")
+	flag.Parse()
+
+	var (
+		t    trace.Trace
+		name string
+	)
+	if *traceFile != "" {
+		f, err := os.Open(*traceFile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		tt, err := trace.ReadAllFrom(f)
+		if err != nil {
+			fatal(err)
+		}
+		t, name = tt, *traceFile
+	} else {
+		p, ok := workloads.ByAbbr(*app)
+		if !ok {
+			fatal(fmt.Errorf("unknown app %q (have %v)", *app, workloads.Abbrs()))
+		}
+		t, name = p.Generate(*n), p.Abbr
+	}
+
+	factory, err := sim.NamedPrefetcher(*pf)
+	if err != nil {
+		fatal(err)
+	}
+	cfg := sim.DefaultConfig()
+	cfg.NewPrefetcher = factory
+	eng := sim.New(cfg)
+	rep, err := eng.Run(t, name)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(rep)
+	if *verbose {
+		fmt.Printf("\ncache: %+v\n", rep.Cache)
+		fmt.Printf("dram:  %+v\n", rep.DRAM)
+		fmt.Printf("queue: %+v\n", rep.Prefetch)
+		fmt.Printf("late prefetch hits: %d\n", rep.LatePrefetchHits)
+		fmt.Printf("cycles: %d\n", rep.Cycles)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "planaria-sim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,78 @@
+package planaria_test
+
+import (
+	"fmt"
+
+	planaria "repro"
+)
+
+// The simplest way to use the library: one call simulates a catalog workload
+// under a named prefetcher.
+func ExampleRunWorkload() {
+	res, err := planaria.RunWorkload("CFM", "planaria", 50_000)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(res.Workload, res.Prefetcher, res.DemandReads+res.DemandWrites)
+	// Output: CFM planaria 50000
+}
+
+// Building a simulator explicitly allows configuration and streaming input.
+func ExampleNewSimulator() {
+	sim, err := planaria.NewSimulator(planaria.Options{
+		Prefetcher:  "spp",
+		CachePolicy: "drrip",
+	})
+	if err != nil {
+		panic(err)
+	}
+	// Feed accesses one by one (here: two reads of the same block, the
+	// second of which hits).
+	_ = sim.Step(planaria.Access{Addr: 0x4000, Cycle: 0})
+	_ = sim.Step(planaria.Access{Addr: 0x4000, Cycle: 500})
+	res := sim.Finish()
+	fmt.Printf("%.2f\n", res.HitRate)
+	// Output: 0.50
+}
+
+// The workload catalog mirrors Table 2 of the paper.
+func ExampleWorkloads() {
+	for _, w := range planaria.Workloads()[:3] {
+		fmt.Println(w.Abbr, w.Name)
+	}
+	// Output:
+	// CFM Cross Fire Mobile
+	// HoK Honor of Kings
+	// Id-V Identity V
+}
+
+// A custom prefetcher plugs in through Options.Custom; this one prefetches
+// the next block after every miss.
+func ExamplePrefetcher() {
+	type nextLine struct{ planaria.Prefetcher }
+	_ = nextLine{} // see examples/customprefetcher for a full implementation
+
+	sim, err := planaria.NewSimulator(planaria.Options{
+		Custom: func(channel int) planaria.Prefetcher { return simpleNextLine{} },
+	})
+	if err != nil {
+		panic(err)
+	}
+	_ = sim.Step(planaria.Access{Addr: 0x0, Cycle: 0})     // miss, prefetches 0x40
+	_ = sim.Step(planaria.Access{Addr: 0x40, Cycle: 1000}) // covered by the prefetch
+	res := sim.Finish()
+	fmt.Printf("%.2f\n", res.HitRate)
+	// Output: 0.50
+}
+
+type simpleNextLine struct{}
+
+func (simpleNextLine) Name() string                { return "next" }
+func (simpleNextLine) StorageBits() int            { return 0 }
+func (simpleNextLine) Train(planaria.Access, bool) {}
+func (s simpleNextLine) Issue(a planaria.Access, miss bool) []uint64 {
+	if !miss {
+		return nil
+	}
+	return []uint64{a.Addr + 64}
+}

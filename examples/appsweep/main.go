@@ -1,0 +1,58 @@
+// App sweep: run every Table 2 application under every built-in prefetcher
+// and print the hit-rate / AMAT / power matrix — a compact rendition of the
+// paper's Figures 7, 8 and 10 through the public API.
+//
+//	go run ./examples/appsweep [-n requests]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	planaria "repro"
+)
+
+func main() {
+	n := flag.Int("n", 150_000, "requests per application")
+	flag.Parse()
+
+	prefetchers := []string{"none", "bop", "spp", "planaria"}
+	fmt.Printf("%-6s", "app")
+	for _, pf := range prefetchers {
+		fmt.Printf("  %22s", pf)
+	}
+	fmt.Println()
+	fmt.Printf("%-6s", "")
+	for range prefetchers {
+		fmt.Printf("  %8s %6s %6s", "hit", "amat", "mW")
+	}
+	fmt.Println()
+
+	type agg struct{ amatNone, amatPl float64 }
+	var sums agg
+	apps := planaria.Workloads()
+	for _, w := range apps {
+		trace := planaria.GenerateTrace(w.Abbr, *n)
+		fmt.Printf("%-6s", w.Abbr)
+		var results []planaria.Result
+		for _, pf := range prefetchers {
+			s, err := planaria.NewSimulator(planaria.Options{Prefetcher: pf})
+			if err != nil {
+				log.Fatal(err)
+			}
+			s.SetWorkloadName(w.Abbr)
+			res, err := s.Run(trace)
+			if err != nil {
+				log.Fatal(err)
+			}
+			results = append(results, res)
+			fmt.Printf("  %7.1f%% %6.1f %6.1f", 100*res.HitRate, res.AMAT, res.AvgPowerMW)
+		}
+		fmt.Println()
+		sums.amatNone += results[0].AMAT
+		sums.amatPl += results[len(results)-1].AMAT
+	}
+	fmt.Printf("\nPlanaria mean AMAT reduction vs no prefetcher: %.1f%%\n",
+		100*(1-sums.amatPl/sums.amatNone))
+}

@@ -1,0 +1,52 @@
+// Quickstart: simulate one mobile workload under the Planaria prefetcher and
+// the no-prefetcher baseline, and print the headline comparison.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	planaria "repro"
+)
+
+func main() {
+	const app = "CFM" // Cross Fire Mobile, Table 2
+	const requests = 200_000
+
+	fmt.Printf("simulating %d requests of %s ...\n\n", requests, app)
+	trace := planaria.GenerateTrace(app, requests)
+
+	baselineSim, err := planaria.NewSimulator(planaria.Options{Prefetcher: "none"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	baselineSim.SetWorkloadName(app)
+	baseline, err := baselineSim.Run(trace)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	planariaSim, err := planaria.NewSimulator(planaria.Options{Prefetcher: "planaria"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	planariaSim.SetWorkloadName(app)
+	withPF, err := planariaSim.Run(trace)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%-22s %12s %12s\n", "", "no prefetch", "planaria")
+	fmt.Printf("%-22s %11.1f%% %11.1f%%\n", "SC hit rate", 100*baseline.HitRate, 100*withPF.HitRate)
+	fmt.Printf("%-22s %12.1f %12.1f\n", "AMAT (cycles)", baseline.AMAT, withPF.AMAT)
+	fmt.Printf("%-22s %12.3f %12.3f\n", "est. IPC", baseline.IPC, withPF.IPC)
+	fmt.Printf("%-22s %12d %12d\n", "DRAM transfers", baseline.DRAMTraffic, withPF.DRAMTraffic)
+	fmt.Printf("%-22s %12.1f %12.1f\n", "avg power (mW)", baseline.AvgPowerMW, withPF.AvgPowerMW)
+	fmt.Printf("\nprefetch accuracy %.1f%%, coverage %.1f%%, metadata %.1f KB\n",
+		100*withPF.Accuracy, 100*withPF.Coverage, float64(withPF.StorageBits)/8/1024)
+
+	amatCut := (baseline.AMAT - withPF.AMAT) / baseline.AMAT
+	fmt.Printf("AMAT reduction: %.1f%% (paper reports 24.3%% on average over ten apps)\n", 100*amatCut)
+}

@@ -1,0 +1,59 @@
+// Trace analysis: reproduce the paper's two trace-characterisation
+// observations through the public API.
+//
+// Observation 1 (Section 3.1): per-page footprint snapshots are stable
+// across program phases — the window overlap rate exceeds 80 %.
+//
+// Observation 2 (Section 4.1): a significant fraction of pages have a
+// "learnable neighbour" close in address space with a nearly identical
+// footprint, and the fraction grows with the distance threshold.
+//
+//	go run ./examples/traceanalysis
+package main
+
+import (
+	"fmt"
+	"log"
+
+	planaria "repro"
+)
+
+func main() {
+	const requests = 150_000
+	dists := []uint64{4, 8, 16, 32, 64}
+
+	fmt.Printf("%-6s %10s", "app", "overlap")
+	for _, d := range dists {
+		fmt.Printf("  nbr@%-3d", d)
+	}
+	fmt.Println()
+
+	var overlapSum float64
+	nbrSums := make([]float64, len(dists))
+	apps := planaria.Workloads()
+	for _, w := range apps {
+		trace := planaria.GenerateTrace(w.Abbr, requests)
+		overlap, err := planaria.OverlapRate(trace)
+		if err != nil {
+			log.Fatal(err)
+		}
+		props, err := planaria.NeighborProportion(trace, dists, 4)
+		if err != nil {
+			log.Fatal(err)
+		}
+		overlapSum += overlap
+		fmt.Printf("%-6s %9.1f%%", w.Abbr, 100*overlap)
+		for i, p := range props {
+			nbrSums[i] += p
+			fmt.Printf("  %5.1f%%", 100*p)
+		}
+		fmt.Println()
+	}
+	n := float64(len(apps))
+	fmt.Printf("%-6s %9.1f%%", "avg", 100*overlapSum/n)
+	for _, s := range nbrSums {
+		fmt.Printf("  %5.1f%%", 100*s/n)
+	}
+	fmt.Println()
+	fmt.Println("\npaper: overlap > 80% on average; neighbours 26.95% @4 → 39.26% @64")
+}

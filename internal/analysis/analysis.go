@@ -1,0 +1,172 @@
+// Package analysis implements the paper's offline trace-characterisation
+// experiments: the footprint-snapshot scatter of Figure 2, the window
+// overlap-rate method of Figures 3/4, and the learnable-neighbour proportion
+// of Figure 5.
+package analysis
+
+import (
+	"sort"
+
+	"repro/internal/addr"
+	"repro/internal/bitmap"
+	"repro/internal/trace"
+)
+
+// SnapshotPoint is one access in a page's timeline (Figure 2: X = arrival
+// cycle, Y = block offset within the page).
+type SnapshotPoint struct {
+	Cycle  uint64
+	Offset int
+}
+
+// PageTimeline extracts the access scatter of one page from a trace.
+func PageTimeline(t trace.Trace, page addr.PageNum) []SnapshotPoint {
+	var out []SnapshotPoint
+	for _, r := range t {
+		if r.Page() == page {
+			out = append(out, SnapshotPoint{Cycle: r.Cycle, Offset: r.Addr.Offset()})
+		}
+	}
+	return out
+}
+
+// HottestPages returns the n most accessed pages of a trace, most accessed
+// first — used to pick a representative page for Figure 2.
+func HottestPages(t trace.Trace, n int) []addr.PageNum {
+	counts := make(map[addr.PageNum]int)
+	for _, r := range t {
+		counts[r.Page()]++
+	}
+	pages := make([]addr.PageNum, 0, len(counts))
+	for p := range counts {
+		pages = append(pages, p)
+	}
+	sort.Slice(pages, func(i, j int) bool {
+		if counts[pages[i]] != counts[pages[j]] {
+			return counts[pages[i]] > counts[pages[j]]
+		}
+		return pages[i] < pages[j]
+	})
+	if len(pages) > n {
+		pages = pages[:n]
+	}
+	return pages
+}
+
+// OverlapRate implements the Figure 3 method. For every page, the per-page
+// window size equals the page's mean accessed-block count; the page's
+// accesses are then chopped into consecutive windows and each window's
+// footprint is compared against the preceding window's. The returned value
+// is the average overlap rate over all windows of all pages (Figure 4 plots
+// this per application).
+func OverlapRate(t trace.Trace) float64 {
+	type pageState struct {
+		// pass 1: distinct blocks to size the window
+		blocks map[int]struct{}
+		// pass 2: windowing
+		window  int
+		seen    int
+		cur     bitmap.Page64
+		prev    bitmap.Page64
+		hasPrev bool
+	}
+	pages := make(map[addr.PageNum]*pageState)
+	for _, r := range t {
+		ps := pages[r.Page()]
+		if ps == nil {
+			ps = &pageState{blocks: map[int]struct{}{}}
+			pages[r.Page()] = ps
+		}
+		ps.blocks[r.Addr.Offset()] = struct{}{}
+	}
+	for _, ps := range pages {
+		ps.window = len(ps.blocks)
+	}
+	var sum float64
+	var windows int
+	for _, r := range t {
+		ps := pages[r.Page()]
+		ps.cur = ps.cur.Set(r.Addr.Offset())
+		ps.seen++
+		if ps.seen >= ps.window {
+			if ps.hasPrev {
+				sum += ps.cur.OverlapRate(ps.prev)
+				windows++
+			}
+			ps.prev, ps.hasPrev = ps.cur, true
+			ps.cur, ps.seen = 0, 0
+		}
+	}
+	if windows == 0 {
+		return 1
+	}
+	return sum / float64(windows)
+}
+
+// NeighborProportion implements the Figure 5 experiment: the fraction of
+// pages that have at least one "learnable neighbour" — another page whose
+// observed footprint differs by at most diffBits and whose page number is
+// within dist. The returned slice parallels dists.
+//
+// As in the paper, footprints are the per-page accessed-block bitmaps over
+// the whole trace.
+func NeighborProportion(t trace.Trace, dists []uint64, diffBits int) []float64 {
+	foot := make(map[addr.PageNum]bitmap.Page64)
+	for _, r := range t {
+		foot[r.Page()] = foot[r.Page()].Set(r.Addr.Offset())
+	}
+	pages := make([]addr.PageNum, 0, len(foot))
+	for p := range foot {
+		pages = append(pages, p)
+	}
+	sort.Slice(pages, func(i, j int) bool { return pages[i] < pages[j] })
+
+	maxDist := uint64(0)
+	for _, d := range dists {
+		if d > maxDist {
+			maxDist = d
+		}
+	}
+	// For each page, the smallest distance at which a learnable neighbour
+	// exists (0 = none within maxDist).
+	out := make([]float64, len(dists))
+	if len(pages) == 0 {
+		return out
+	}
+	counts := make([]int, len(dists))
+	for i, p := range pages {
+		best := uint64(0)
+		found := false
+		// Scan sorted neighbours outward within maxDist.
+		for j := i - 1; j >= 0 && p.Distance(pages[j]) <= maxDist; j-- {
+			if foot[p].Diff(foot[pages[j]]) <= diffBits {
+				d := p.Distance(pages[j])
+				if !found || d < best {
+					best, found = d, true
+				}
+				break // sorted: nearest qualifying page first
+			}
+		}
+		for j := i + 1; j < len(pages) && p.Distance(pages[j]) <= maxDist; j++ {
+			if foot[p].Diff(foot[pages[j]]) <= diffBits {
+				d := p.Distance(pages[j])
+				if !found || d < best {
+					best, found = d, true
+				}
+				break
+			}
+		}
+		if !found {
+			continue
+		}
+		for k, d := range dists {
+			if best <= d {
+				counts[k]++
+			}
+		}
+	}
+	for k := range dists {
+		out[k] = float64(counts[k]) / float64(len(pages))
+	}
+	return out
+}

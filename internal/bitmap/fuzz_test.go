@@ -1,0 +1,23 @@
+package bitmap
+
+import "testing"
+
+// FuzzParsePage64: the parser must never panic and must round-trip every
+// bitmap it accepts.
+func FuzzParsePage64(f *testing.F) {
+	f.Add("0101")
+	f.Add("")
+	f.Add("1111111111111111111111111111111111111111111111111111111111111111")
+	f.Add("0x10")
+	f.Add("00000000000000000000000000000000000000000000000000000000000000001") // 65 chars
+	f.Fuzz(func(t *testing.T, in string) {
+		b, err := ParsePage64(in)
+		if err != nil {
+			return
+		}
+		b2, err := ParsePage64(b.String())
+		if err != nil || b2 != b {
+			t.Fatalf("round trip broke: %v, %v vs %v", err, b2, b)
+		}
+	})
+}

@@ -1,0 +1,28 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/addr"
+)
+
+func benchCache(b *testing.B, policy Policy) {
+	c := New(Config{SizeBytes: 1 << 20, Ways: 16, Policy: policy})
+	rng := rand.New(rand.NewSource(1))
+	blocks := make([]addr.BlockNum, 1<<16)
+	for i := range blocks {
+		blocks[i] = addr.BlockNum(rng.Intn(1 << 18))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		blk := blocks[i&(len(blocks)-1)]
+		if !c.Access(blk, i%5 == 0) {
+			c.Fill(blk, i%7 == 0, false)
+		}
+	}
+}
+
+func BenchmarkCacheLRU(b *testing.B)   { benchCache(b, LRU) }
+func BenchmarkCacheSRRIP(b *testing.B) { benchCache(b, SRRIP) }
+func BenchmarkCacheDRRIP(b *testing.B) { benchCache(b, DRRIP) }

@@ -1,0 +1,419 @@
+// Package cache implements the system cache (SC) of the Planaria
+// reproduction: a set-associative, write-back, write-allocate cache operating
+// on 64-byte blocks. The paper's SC is 4 MB / 16-way, address-sliced across
+// four DRAM channels, so the simulator instantiates one 1 MB Cache per
+// channel.
+//
+// The cache tracks prefetched lines so the simulator can measure prefetch
+// accuracy (useful vs. wasted prefetch fills) and pollution (demand lines
+// evicted by prefetches). Three replacement policies are provided, both to
+// serve the simulator and to back the paper's claim that replacement policy
+// alone does not rescue SC performance.
+package cache
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/addr"
+)
+
+// Policy selects the replacement policy.
+type Policy int
+
+// Replacement policies.
+const (
+	LRU Policy = iota
+	SRRIP
+	// DRRIP dynamically selects between SRRIP and bimodal insertion via
+	// set dueling (Jaleel et al., ISCA 2010) — one of the
+	// "state-of-the-art cache replacement policies" the paper's
+	// introduction reports as insufficient for the SC.
+	DRRIP
+	Random
+)
+
+// String returns the policy mnemonic.
+func (p Policy) String() string {
+	switch p {
+	case LRU:
+		return "lru"
+	case SRRIP:
+		return "srrip"
+	case DRRIP:
+		return "drrip"
+	case Random:
+		return "random"
+	}
+	return fmt.Sprintf("policy(%d)", int(p))
+}
+
+// ParsePolicy is the inverse of String.
+func ParsePolicy(s string) (Policy, error) {
+	switch s {
+	case "lru":
+		return LRU, nil
+	case "srrip":
+		return SRRIP, nil
+	case "drrip":
+		return DRRIP, nil
+	case "random":
+		return Random, nil
+	}
+	return 0, fmt.Errorf("cache: unknown policy %q", s)
+}
+
+// Policies lists the selectable replacement policies.
+func Policies() []Policy { return []Policy{LRU, SRRIP, DRRIP, Random} }
+
+// Config sizes a Cache.
+type Config struct {
+	SizeBytes int    // total capacity in bytes
+	Ways      int    // associativity
+	Policy    Policy // replacement policy
+	Seed      int64  // RNG seed (Random policy only)
+}
+
+// DefaultConfig is one channel slice of the paper's SC: 1 MB, 16-way, LRU.
+func DefaultConfig() Config {
+	return Config{SizeBytes: 1 << 20, Ways: 16, Policy: LRU}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.SizeBytes <= 0 || c.Ways <= 0 {
+		return fmt.Errorf("cache: non-positive size or ways: %+v", c)
+	}
+	blocks := c.SizeBytes / addr.BlockBytes
+	if blocks == 0 || blocks%c.Ways != 0 {
+		return fmt.Errorf("cache: %d blocks not divisible by %d ways", blocks, c.Ways)
+	}
+	sets := blocks / c.Ways
+	if sets == 0 || sets&(sets-1) != 0 {
+		return fmt.Errorf("cache: set count %d not a power of two", sets)
+	}
+	return nil
+}
+
+const maxRRPV = 3 // 2-bit SRRIP
+
+type line struct {
+	tag        uint64
+	valid      bool
+	dirty      bool
+	prefetched bool // filled by a prefetch and not yet demanded
+	stamp      uint64
+	rrpv       uint8
+}
+
+// Stats accumulates cache events. All counters are monotonically increasing.
+type Stats struct {
+	DemandAccesses   uint64
+	DemandHits       uint64
+	DemandMisses     uint64
+	PrefetchFills    uint64
+	DemandFills      uint64
+	UsefulPrefetches uint64 // demand hit on a line filled by prefetch
+	WastedPrefetches uint64 // prefetched line evicted before any demand hit
+	Writebacks       uint64 // dirty evictions
+	Evictions        uint64
+	PollutionEvicts  uint64 // demand-resident line evicted to make room for a prefetch
+}
+
+// HitRate returns demand hits / demand accesses.
+func (s Stats) HitRate() float64 {
+	if s.DemandAccesses == 0 {
+		return 0
+	}
+	return float64(s.DemandHits) / float64(s.DemandAccesses)
+}
+
+// Accuracy returns useful prefetch fills / prefetch fills.
+func (s Stats) Accuracy() float64 {
+	if s.PrefetchFills == 0 {
+		return 0
+	}
+	return float64(s.UsefulPrefetches) / float64(s.PrefetchFills)
+}
+
+// Cache is a single set-associative cache slice. It is not safe for
+// concurrent use; the simulator drives each channel slice from one goroutine.
+type Cache struct {
+	cfg     Config
+	sets    [][]line
+	setMask uint64
+	clock   uint64
+	rng     *rand.Rand
+	stats   Stats
+
+	// DRRIP set-dueling state: psel > 0 favours bimodal insertion,
+	// ≤ 0 favours SRRIP insertion; brip counts fills for the 1-in-32
+	// near insertions of the bimodal policy.
+	psel int
+	brip int
+}
+
+// New builds a cache; it panics on an invalid Config (a construction-time
+// programming error, per the package contract).
+func New(cfg Config) *Cache {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	blocks := cfg.SizeBytes / addr.BlockBytes
+	nsets := blocks / cfg.Ways
+	c := &Cache{
+		cfg:     cfg,
+		sets:    make([][]line, nsets),
+		setMask: uint64(nsets - 1),
+		rng:     rand.New(rand.NewSource(cfg.Seed + 1)),
+	}
+	store := make([]line, blocks)
+	for i := range c.sets {
+		c.sets[i], store = store[:cfg.Ways], store[cfg.Ways:]
+	}
+	return c
+}
+
+// Config returns the cache's configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Sets returns the number of sets.
+func (c *Cache) Sets() int { return len(c.sets) }
+
+// Stats returns a snapshot of the accumulated statistics.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// ResetStats zeroes the statistics counters without touching cache contents
+// (used to discard warmup).
+func (c *Cache) ResetStats() { c.stats = Stats{} }
+
+func (c *Cache) index(b addr.BlockNum) (set []line, tag uint64) {
+	idx := uint64(b) & c.setMask
+	return c.sets[idx], uint64(b) >> uint(log2(c.setMask+1))
+}
+
+// duelKind classifies a set for DRRIP set dueling: 0 = SRRIP leader,
+// 1 = bimodal leader, 2 = follower. One set in 32 leads for each policy.
+func duelKind(idx uint64) int {
+	switch idx % 32 {
+	case 0:
+		return 0
+	case 1:
+		return 1
+	}
+	return 2
+}
+
+// Access performs a demand access for block b. It returns hit=true when the
+// block is resident. On a hit the replacement state is promoted; misses do
+// NOT allocate — the caller fills the line via Fill once the DRAM read
+// completes, which keeps fill timing in the simulator's hands.
+func (c *Cache) Access(b addr.BlockNum, write bool) (hit bool) {
+	hit, _ = c.AccessInfo(b, write)
+	return hit
+}
+
+// AccessInfo is Access with prefetch attribution: firstUse reports that the
+// hit consumed a prefetched line for the first time (the event counted in
+// Stats.UsefulPrefetches).
+func (c *Cache) AccessInfo(b addr.BlockNum, write bool) (hit, firstUse bool) {
+	c.clock++
+	c.stats.DemandAccesses++
+	set, tag := c.index(b)
+	for i := range set {
+		l := &set[i]
+		if l.valid && l.tag == tag {
+			c.stats.DemandHits++
+			if l.prefetched {
+				c.stats.UsefulPrefetches++
+				l.prefetched = false
+				firstUse = true
+			}
+			if write {
+				l.dirty = true
+			}
+			c.promote(l)
+			return true, firstUse
+		}
+	}
+	c.stats.DemandMisses++
+	if c.cfg.Policy == DRRIP {
+		// Set dueling: a miss in a leader set votes against its policy.
+		switch duelKind(uint64(b) & c.setMask) {
+		case 0: // SRRIP leader missed → bimodal gains favour
+			if c.psel < 1024 {
+				c.psel++
+			}
+		case 1: // bimodal leader missed → SRRIP gains favour
+			if c.psel > -1024 {
+				c.psel--
+			}
+		}
+	}
+	return false, false
+}
+
+// Contains probes for block b without touching replacement state or
+// statistics. Prefetchers use it to filter already-resident targets.
+func (c *Cache) Contains(b addr.BlockNum) bool {
+	set, tag := c.index(b)
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// EvictInfo describes a victim line.
+type EvictInfo struct {
+	Valid      bool          // a valid line was evicted
+	Block      addr.BlockNum // the evicted block
+	Dirty      bool          // requires a writeback
+	Prefetched bool          // was an unused prefetch
+}
+
+// Fill inserts block b after a miss (demand or prefetch). If the block is
+// already resident the fill is a no-op (a racing fill), and the returned
+// EvictInfo is zero. The victim, if any, is reported so the simulator can
+// issue the writeback.
+func (c *Cache) Fill(b addr.BlockNum, prefetch, write bool) EvictInfo {
+	c.clock++
+	set, tag := c.index(b)
+	victim := -1
+	for i := range set {
+		l := &set[i]
+		if l.valid && l.tag == tag {
+			// Already present (e.g. prefetch landed after a demand
+			// fill). Just merge the dirty bit.
+			if write {
+				l.dirty = true
+			}
+			return EvictInfo{}
+		}
+		if !l.valid && victim == -1 {
+			victim = i
+		}
+	}
+	var ev EvictInfo
+	if victim == -1 {
+		victim = c.victim(set)
+		v := &set[victim]
+		ev = EvictInfo{Valid: true, Block: c.reconstruct(b, v.tag), Dirty: v.dirty, Prefetched: v.prefetched}
+		c.stats.Evictions++
+		if v.dirty {
+			c.stats.Writebacks++
+		}
+		if v.prefetched {
+			c.stats.WastedPrefetches++
+		} else if prefetch {
+			c.stats.PollutionEvicts++
+		}
+	}
+	l := &set[victim]
+	*l = line{tag: tag, valid: true, dirty: write, prefetched: prefetch}
+	l.stamp = c.clock // LRU treats fills uniformly
+	switch {
+	case prefetch:
+		c.stats.PrefetchFills++
+		// RRIP-family policies insert prefetches with a distant
+		// re-reference prediction so inaccurate prefetchers pollute
+		// less.
+		l.rrpv = maxRRPV
+	default:
+		c.stats.DemandFills++
+		l.rrpv = c.insertRRPV(uint64(b) & c.setMask)
+	}
+	return ev
+}
+
+// insertRRPV picks the demand-fill insertion RRPV under the active policy.
+func (c *Cache) insertRRPV(idx uint64) uint8 {
+	if c.cfg.Policy != DRRIP {
+		return maxRRPV - 1 // SRRIP default (ignored by LRU/Random)
+	}
+	bimodal := false
+	switch duelKind(idx) {
+	case 0:
+		bimodal = false
+	case 1:
+		bimodal = true
+	default:
+		bimodal = c.psel > 0
+	}
+	if !bimodal {
+		return maxRRPV - 1
+	}
+	// Bimodal: mostly distant, occasionally near.
+	c.brip++
+	if c.brip%32 == 0 {
+		return maxRRPV - 1
+	}
+	return maxRRPV
+}
+
+// Invalidate drops block b if resident, returning whether it was dirty.
+func (c *Cache) Invalidate(b addr.BlockNum) (wasDirty bool) {
+	set, tag := c.index(b)
+	for i := range set {
+		l := &set[i]
+		if l.valid && l.tag == tag {
+			wasDirty = l.dirty
+			*l = line{}
+			return wasDirty
+		}
+	}
+	return false
+}
+
+// reconstruct rebuilds the block number of a victim from its tag and the set
+// index of the incoming block (same set by construction).
+func (c *Cache) reconstruct(incoming addr.BlockNum, tag uint64) addr.BlockNum {
+	idx := uint64(incoming) & c.setMask
+	return addr.BlockNum(tag<<uint(log2(c.setMask+1)) | idx)
+}
+
+func (c *Cache) promote(l *line) {
+	switch c.cfg.Policy {
+	case LRU, Random:
+		l.stamp = c.clock
+	case SRRIP, DRRIP:
+		l.rrpv = 0
+	}
+}
+
+func (c *Cache) victim(set []line) int {
+	switch c.cfg.Policy {
+	case LRU:
+		best := 0
+		for i := 1; i < len(set); i++ {
+			if set[i].stamp < set[best].stamp {
+				best = i
+			}
+		}
+		return best
+	case SRRIP, DRRIP:
+		for {
+			for i := range set {
+				if set[i].rrpv >= maxRRPV {
+					return i
+				}
+			}
+			for i := range set {
+				set[i].rrpv++
+			}
+		}
+	case Random:
+		return c.rng.Intn(len(set))
+	}
+	return 0
+}
+
+func log2(v uint64) int {
+	n := 0
+	for v > 1 {
+		v >>= 1
+		n++
+	}
+	return n
+}

@@ -1,0 +1,308 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/addr"
+)
+
+func tiny(policy Policy) *Cache {
+	// 4 sets × 2 ways × 64 B = 512 B.
+	return New(Config{SizeBytes: 512, Ways: 2, Policy: policy})
+}
+
+func TestConfigValidate(t *testing.T) {
+	bad := []Config{
+		{SizeBytes: 0, Ways: 16},
+		{SizeBytes: 1 << 20, Ways: 0},
+		{SizeBytes: 3 * 64, Ways: 2},     // blocks not divisible by ways
+		{SizeBytes: 6 * 64 * 2, Ways: 2}, // 6 sets: not a power of two
+	}
+	for _, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("config %+v should be invalid", c)
+		}
+	}
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Errorf("default config invalid: %v", err)
+	}
+}
+
+func TestNewPanicsOnInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(Config{SizeBytes: 1, Ways: 1})
+}
+
+func TestMissThenFillThenHit(t *testing.T) {
+	c := tiny(LRU)
+	b := addr.BlockNum(0x100)
+	if c.Access(b, false) {
+		t.Fatal("cold access hit")
+	}
+	if ev := c.Fill(b, false, false); ev.Valid {
+		t.Fatalf("fill into empty set evicted %+v", ev)
+	}
+	if !c.Access(b, false) {
+		t.Fatal("access after fill missed")
+	}
+	s := c.Stats()
+	if s.DemandAccesses != 2 || s.DemandHits != 1 || s.DemandMisses != 1 {
+		t.Fatalf("stats %+v", s)
+	}
+}
+
+func TestContainsDoesNotPerturb(t *testing.T) {
+	c := tiny(LRU)
+	b := addr.BlockNum(4)
+	c.Fill(b, false, false)
+	before := c.Stats()
+	if !c.Contains(b) {
+		t.Fatal("Contains false for resident block")
+	}
+	if c.Contains(b + 64) {
+		t.Fatal("Contains true for absent block")
+	}
+	if c.Stats() != before {
+		t.Fatal("Contains changed stats")
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := tiny(LRU)
+	// Set 0 holds blocks ≡ 0 mod 4. Fill two ways, then a third block
+	// must evict the least recently used.
+	b0, b1, b2 := addr.BlockNum(0), addr.BlockNum(4), addr.BlockNum(8)
+	c.Fill(b0, false, false)
+	c.Fill(b1, false, false)
+	c.Access(b0, false) // b0 most recent
+	ev := c.Fill(b2, false, false)
+	if !ev.Valid || ev.Block != b1 {
+		t.Fatalf("evicted %+v, want block %v", ev, b1)
+	}
+	if !c.Contains(b0) || c.Contains(b1) || !c.Contains(b2) {
+		t.Fatal("wrong residency after eviction")
+	}
+}
+
+func TestDirtyWriteback(t *testing.T) {
+	c := tiny(LRU)
+	b0, b1, b2 := addr.BlockNum(0), addr.BlockNum(4), addr.BlockNum(8)
+	c.Fill(b0, false, true) // dirty fill
+	c.Fill(b1, false, false)
+	ev := c.Fill(b2, false, false)
+	if !ev.Valid || !ev.Dirty || ev.Block != b0 {
+		t.Fatalf("expected dirty eviction of b0, got %+v", ev)
+	}
+	if c.Stats().Writebacks != 1 {
+		t.Fatalf("writebacks = %d", c.Stats().Writebacks)
+	}
+}
+
+func TestWriteHitSetsDirty(t *testing.T) {
+	c := tiny(LRU)
+	b0, b1, b2 := addr.BlockNum(0), addr.BlockNum(4), addr.BlockNum(8)
+	c.Fill(b0, false, false)
+	c.Access(b0, true) // write hit dirties the line
+	c.Fill(b1, false, false)
+	c.Access(b1, false)
+	ev := c.Fill(b2, false, false)
+	if !ev.Dirty {
+		t.Fatal("write-hit line evicted clean")
+	}
+}
+
+func TestPrefetchAccounting(t *testing.T) {
+	c := tiny(LRU)
+	useful, wasted := addr.BlockNum(0), addr.BlockNum(4)
+	c.Fill(useful, true, false)
+	c.Fill(wasted, true, false)
+	if !c.Access(useful, false) {
+		t.Fatal("prefetched block missed")
+	}
+	// Evict both lines of set 0.
+	c.Fill(addr.BlockNum(8), false, false)
+	c.Fill(addr.BlockNum(12), false, false)
+	s := c.Stats()
+	if s.PrefetchFills != 2 {
+		t.Fatalf("PrefetchFills = %d", s.PrefetchFills)
+	}
+	if s.UsefulPrefetches != 1 {
+		t.Fatalf("UsefulPrefetches = %d", s.UsefulPrefetches)
+	}
+	if s.WastedPrefetches != 1 {
+		t.Fatalf("WastedPrefetches = %d", s.WastedPrefetches)
+	}
+	if got := s.Accuracy(); got != 0.5 {
+		t.Fatalf("Accuracy = %v", got)
+	}
+}
+
+func TestUsefulCountedOnce(t *testing.T) {
+	c := tiny(LRU)
+	b := addr.BlockNum(0)
+	c.Fill(b, true, false)
+	c.Access(b, false)
+	c.Access(b, false)
+	if got := c.Stats().UsefulPrefetches; got != 1 {
+		t.Fatalf("UsefulPrefetches = %d, want 1 (count first use only)", got)
+	}
+}
+
+func TestPollutionEvicts(t *testing.T) {
+	c := tiny(LRU)
+	c.Fill(addr.BlockNum(0), false, false) // demand line
+	c.Fill(addr.BlockNum(4), false, false)
+	c.Fill(addr.BlockNum(8), true, false) // prefetch evicts a demand line
+	if got := c.Stats().PollutionEvicts; got != 1 {
+		t.Fatalf("PollutionEvicts = %d", got)
+	}
+}
+
+func TestDoubleFillIsNoOp(t *testing.T) {
+	c := tiny(LRU)
+	b := addr.BlockNum(0)
+	c.Fill(b, false, false)
+	ev := c.Fill(b, true, false)
+	if ev.Valid {
+		t.Fatalf("double fill evicted %+v", ev)
+	}
+	if c.Stats().PrefetchFills != 0 {
+		t.Fatal("racing prefetch fill counted")
+	}
+	// Dirty merge on double fill.
+	c.Fill(b, false, true)
+	c.Fill(addr.BlockNum(4), false, false)
+	ev = c.Fill(addr.BlockNum(8), false, false)
+	if !ev.Dirty {
+		t.Fatal("dirty bit lost on merge fill")
+	}
+}
+
+func TestInvalidate(t *testing.T) {
+	c := tiny(LRU)
+	b := addr.BlockNum(0)
+	c.Fill(b, false, true)
+	if !c.Invalidate(b) {
+		t.Fatal("Invalidate should report dirty")
+	}
+	if c.Contains(b) {
+		t.Fatal("block still resident")
+	}
+	if c.Invalidate(b) {
+		t.Fatal("second Invalidate reported dirty")
+	}
+}
+
+func TestSRRIPBasic(t *testing.T) {
+	c := tiny(SRRIP)
+	b0, b1 := addr.BlockNum(0), addr.BlockNum(4)
+	c.Fill(b0, false, false)
+	c.Fill(b1, true, false) // prefetch inserted at distant RRPV
+	// A new fill should evict the prefetched line first (distant RRPV).
+	ev := c.Fill(addr.BlockNum(8), false, false)
+	if !ev.Valid || ev.Block != b1 {
+		t.Fatalf("SRRIP evicted %+v, want prefetched b1", ev)
+	}
+}
+
+func TestRandomPolicyDeterministicPerSeed(t *testing.T) {
+	run := func(seed int64) []addr.BlockNum {
+		c := New(Config{SizeBytes: 512, Ways: 2, Policy: Random, Seed: seed})
+		var evs []addr.BlockNum
+		for i := 0; i < 20; i++ {
+			ev := c.Fill(addr.BlockNum(i*4), false, false)
+			if ev.Valid {
+				evs = append(evs, ev.Block)
+			}
+		}
+		return evs
+	}
+	a, b := run(7), run(7)
+	if len(a) != len(b) {
+		t.Fatal("same seed, different eviction count")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed, different victims")
+		}
+	}
+}
+
+func TestEvictedBlockReconstruction(t *testing.T) {
+	f := func(raw uint64) bool {
+		c := tiny(LRU)
+		b := addr.BlockNum(raw >> 16)
+		c.Fill(b, false, false)
+		// Force eviction by filling the same set with two more blocks.
+		n1 := b + addr.BlockNum(c.Sets())
+		n2 := b + addr.BlockNum(2*c.Sets())
+		c.Fill(n1, false, false)
+		ev := c.Fill(n2, false, false)
+		return ev.Valid && ev.Block == b
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: hit rate of repeated accesses to a working set smaller than
+// capacity converges to 1 after the first pass.
+func TestSmallWorkingSetAllHits(t *testing.T) {
+	c := New(Config{SizeBytes: 1 << 14, Ways: 4, Policy: LRU}) // 256 blocks
+	blocks := make([]addr.BlockNum, 100)
+	for i := range blocks {
+		blocks[i] = addr.BlockNum(i * 7)
+	}
+	for _, b := range blocks {
+		if !c.Access(b, false) {
+			c.Fill(b, false, false)
+		}
+	}
+	for pass := 0; pass < 3; pass++ {
+		for _, b := range blocks {
+			if !c.Access(b, false) {
+				t.Fatalf("pass %d: block %v missed", pass, b)
+			}
+		}
+	}
+}
+
+// Property: total fills - evictions == resident lines (conservation).
+func TestResidencyConservation(t *testing.T) {
+	c := New(Config{SizeBytes: 1 << 12, Ways: 2, Policy: LRU}) // 64 blocks
+	fills := 0
+	for i := 0; i < 500; i++ {
+		b := addr.BlockNum(i * 13 % 301)
+		if !c.Contains(b) {
+			c.Fill(b, i%3 == 0, false)
+			fills++
+		}
+	}
+	s := c.Stats()
+	resident := 0
+	for i := 0; i < 4096; i++ {
+		if c.Contains(addr.BlockNum(i)) {
+			resident++
+		}
+	}
+	if int(s.Evictions) != fills-resident {
+		t.Fatalf("evictions %d != fills %d - resident %d", s.Evictions, fills, resident)
+	}
+}
+
+func TestPolicyStringRoundTrip(t *testing.T) {
+	for _, p := range []Policy{LRU, SRRIP, Random} {
+		got, err := ParsePolicy(p.String())
+		if err != nil || got != p {
+			t.Errorf("policy %v round trip failed: %v %v", p, got, err)
+		}
+	}
+	if _, err := ParsePolicy("mru"); err == nil {
+		t.Error("expected error")
+	}
+}

@@ -1,0 +1,63 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/addr"
+	"repro/internal/prefetch"
+)
+
+func benchAccesses(n int) []prefetch.Access {
+	rng := rand.New(rand.NewSource(1))
+	out := make([]prefetch.Access, n)
+	cycle := uint64(0)
+	for i := range out {
+		p := addr.PageNum(rng.Intn(4096))
+		out[i] = prefetch.Access{
+			Block: p.Block(addr.OffsetOf(0, rng.Intn(16))),
+			Cycle: cycle,
+			Miss:  rng.Intn(3) != 0,
+		}
+		cycle += uint64(rng.Intn(60))
+	}
+	return out
+}
+
+// BenchmarkSLPTrainIssue measures the per-access cost of the intra-page
+// sub-prefetcher.
+func BenchmarkSLPTrainIssue(b *testing.B) {
+	s := NewSLP(DefaultSLPConfig())
+	accs := benchAccesses(1 << 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a := accs[i&(len(accs)-1)]
+		s.Train(a)
+		s.Issue(a)
+	}
+}
+
+// BenchmarkTLPTrainIssue measures the per-access cost of the inter-page
+// sub-prefetcher (dominated by the 128-entry RPT bookkeeping).
+func BenchmarkTLPTrainIssue(b *testing.B) {
+	t := NewTLP(DefaultTLPConfig())
+	accs := benchAccesses(1 << 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a := accs[i&(len(accs)-1)]
+		t.Train(a)
+		t.Issue(a)
+	}
+}
+
+// BenchmarkPlanariaTrainIssue measures the full composite prefetcher.
+func BenchmarkPlanariaTrainIssue(b *testing.B) {
+	p := New(DefaultConfig())
+	accs := benchAccesses(1 << 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a := accs[i&(len(accs)-1)]
+		p.Train(a)
+		p.Issue(a)
+	}
+}

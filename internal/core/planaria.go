@@ -1,0 +1,226 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/addr"
+	"repro/internal/prefetch"
+)
+
+// CoordMode selects the coordination strategy. Decoupled is Planaria's
+// contribution; the other two model the prior-art coordinator families the
+// paper compares against in Section 7 and back the abl-coord experiment.
+type CoordMode int
+
+// Coordination modes.
+const (
+	// Decoupled is "parallel training and serial issuing": every demand
+	// access trains both sub-prefetchers (full-pattern directed
+	// learning), while only one sub-prefetcher — SLP preferentially —
+	// issues for a given trigger.
+	Decoupled CoordMode = iota
+	// Serial models a TPC-style serial coordinator with monolithic
+	// sub-prefetchers: only the selected sub-prefetcher both learns and
+	// issues, so the idle one goes blind.
+	Serial
+	// Parallel models an ISB-style parallel coordinator: both
+	// sub-prefetchers learn and both issue; their requests are unioned.
+	Parallel
+)
+
+// String returns the mode mnemonic.
+func (m CoordMode) String() string {
+	switch m {
+	case Decoupled:
+		return "decoupled"
+	case Serial:
+		return "serial"
+	case Parallel:
+		return "parallel"
+	}
+	return fmt.Sprintf("mode(%d)", int(m))
+}
+
+// Config bundles the sub-prefetcher configurations and the coordinator mode.
+type Config struct {
+	SLP  SLPConfig
+	TLP  TLPConfig
+	Mode CoordMode
+	// DisableSLP / DisableTLP turn a sub-prefetcher off entirely,
+	// enabling the Figure 9 breakdown runs.
+	DisableSLP bool
+	DisableTLP bool
+}
+
+// DefaultConfig returns the paper's configuration.
+func DefaultConfig() Config {
+	return Config{SLP: DefaultSLPConfig(), TLP: DefaultTLPConfig(), Mode: Decoupled}
+}
+
+// Planaria is the composite prefetcher for one channel: SLP + TLP under the
+// coordinator (Figure 1).
+type Planaria struct {
+	cfg Config
+	slp *SLP
+	tlp *TLP
+
+	slpIssues uint64 // triggers answered by SLP
+	tlpIssues uint64 // triggers answered by TLP
+
+	lastOrigin string // sub-prefetcher that answered the most recent Issue
+}
+
+// New builds a Planaria instance.
+func New(cfg Config) *Planaria {
+	return &Planaria{cfg: cfg, slp: NewSLP(cfg.SLP), tlp: NewTLP(cfg.TLP)}
+}
+
+// Name implements prefetch.Prefetcher.
+func (p *Planaria) Name() string {
+	switch {
+	case p.cfg.DisableTLP && p.cfg.DisableSLP:
+		return "planaria-off"
+	case p.cfg.DisableTLP:
+		return "planaria-slp"
+	case p.cfg.DisableSLP:
+		return "planaria-tlp"
+	case p.cfg.Mode != Decoupled:
+		return "planaria-" + p.cfg.Mode.String()
+	}
+	return "planaria"
+}
+
+// Reset implements prefetch.Prefetcher.
+func (p *Planaria) Reset() {
+	p.slp.Reset()
+	p.tlp.Reset()
+	p.slpIssues, p.tlpIssues = 0, 0
+	p.lastOrigin = ""
+}
+
+// SLP exposes the intra-page sub-prefetcher (for tests and analysis).
+func (p *Planaria) SLP() *SLP { return p.slp }
+
+// TLP exposes the inter-page sub-prefetcher (for tests and analysis).
+func (p *Planaria) TLP() *TLP { return p.tlp }
+
+// Train implements prefetch.Prefetcher — the learning phase.
+//
+// In Decoupled and Parallel modes both sub-prefetchers observe every demand
+// access. In Serial (monolithic) mode only the sub-prefetcher currently
+// selected for this page learns, reproducing the blindness of prior serial
+// coordinators.
+func (p *Planaria) Train(a prefetch.Access) {
+	switch p.cfg.Mode {
+	case Serial:
+		if p.selectSLP(a) {
+			if !p.cfg.DisableSLP {
+				p.slp.Train(a)
+			}
+		} else if !p.cfg.DisableTLP {
+			p.tlp.Train(a)
+		}
+	default:
+		if !p.cfg.DisableSLP {
+			p.slp.Train(a)
+		}
+		if !p.cfg.DisableTLP {
+			p.tlp.Train(a)
+		}
+	}
+}
+
+// selectSLP applies the paper's selection rule: SLP issues preferentially;
+// TLP is enabled only when SLP has no history for the page.
+func (p *Planaria) selectSLP(a prefetch.Access) bool {
+	if p.cfg.DisableSLP {
+		return false
+	}
+	if p.cfg.DisableTLP {
+		return true
+	}
+	return p.slp.HasMetadata(a.Page())
+}
+
+// Issue implements prefetch.Prefetcher — the issuing phase.
+func (p *Planaria) Issue(a prefetch.Access) []addr.BlockNum {
+	if !a.Miss {
+		return nil
+	}
+	if p.cfg.Mode == Parallel {
+		var out []addr.BlockNum
+		if !p.cfg.DisableSLP {
+			if c := p.slp.Issue(a); len(c) > 0 {
+				p.slpIssues++
+				out = append(out, c...)
+			}
+		}
+		if !p.cfg.DisableTLP {
+			if c := p.tlp.Issue(a); len(c) > 0 {
+				p.tlpIssues++
+				out = append(out, c...)
+			}
+		}
+		return dedup(out)
+	}
+	// Decoupled and Serial both issue serially: SLP first, TLP as the
+	// fallback when SLP has nothing for this page.
+	if !p.cfg.DisableSLP {
+		if c := p.slp.Issue(a); len(c) > 0 {
+			p.slpIssues++
+			p.lastOrigin = "slp"
+			return c
+		}
+	}
+	if !p.cfg.DisableTLP {
+		if c := p.tlp.Issue(a); len(c) > 0 {
+			p.tlpIssues++
+			p.lastOrigin = "tlp"
+			return c
+		}
+	}
+	p.lastOrigin = ""
+	return nil
+}
+
+// Origin reports which sub-prefetcher answered the most recent Issue call
+// ("slp", "tlp", or "" for none/union). The engine uses it to attribute
+// useful prefetches per sub-prefetcher (the Figure 9 in-system breakdown).
+func (p *Planaria) Origin() string {
+	if p.cfg.Mode == Parallel {
+		return "" // union issues have no single origin
+	}
+	return p.lastOrigin
+}
+
+// IssueShare returns how many triggers each sub-prefetcher answered — the
+// Figure 9 breakdown input.
+func (p *Planaria) IssueShare() (slp, tlp uint64) { return p.slpIssues, p.tlpIssues }
+
+// StorageBits implements prefetch.Prefetcher.
+func (p *Planaria) StorageBits() int {
+	return p.slp.StorageBits() + p.tlp.StorageBits()
+}
+
+func dedup(in []addr.BlockNum) []addr.BlockNum {
+	if len(in) < 2 {
+		return in
+	}
+	seen := make(map[addr.BlockNum]struct{}, len(in))
+	out := in[:0]
+	for _, b := range in {
+		if _, ok := seen[b]; ok {
+			continue
+		}
+		seen[b] = struct{}{}
+		out = append(out, b)
+	}
+	return out
+}
+
+// Interface conformance checks.
+var (
+	_ prefetch.Prefetcher = (*Planaria)(nil)
+	_ prefetch.Prefetcher = (*SLP)(nil)
+	_ prefetch.Prefetcher = (*TLP)(nil)
+)

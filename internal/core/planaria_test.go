@@ -1,0 +1,202 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/addr"
+)
+
+// buildPlanaria trains a Planaria instance so that page slpPage has an SLP
+// snapshot and page tlpPage only has a TLP neighbour (0x100-based cluster).
+func buildPlanaria(mode CoordMode) (*Planaria, addr.PageNum, addr.PageNum, uint64) {
+	cfg := DefaultConfig()
+	cfg.Mode = mode
+	cfg.SLP.Timeout = 100
+	p := New(cfg)
+	slpPage := addr.PageNum(0x5000)
+	cycle := uint64(0)
+	for _, o := range []int{1, 4, 7, 9} {
+		p.Train(acc(slpPage, 0, o, cycle, true))
+		cycle += 5
+	}
+	// Expire the snapshot into the PT with sweep traffic far away.
+	cycle += 200
+	for i := 0; i < 200; i++ {
+		p.Train(acc(addr.PageNum(0x9000)+addr.PageNum(i), 0, i%16, cycle, true))
+		cycle++
+	}
+	// TLP cluster: neighbour with a rich footprint, then the target page
+	// sharing part of it.
+	nb := addr.PageNum(0x100)
+	tgt := addr.PageNum(0x104)
+	for _, o := range []int{1, 2, 3, 4, 5, 6} {
+		p.Train(acc(nb, 0, o, cycle, true))
+		cycle++
+	}
+	for _, o := range []int{1, 2, 3, 4} {
+		p.Train(acc(tgt, 0, o, cycle, true))
+		cycle++
+	}
+	return p, slpPage, tgt, cycle
+}
+
+func TestCoordinatorPrefersSLP(t *testing.T) {
+	p, slpPage, _, cycle := buildPlanaria(Decoupled)
+	got := p.Issue(acc(slpPage, 0, 4, cycle, true))
+	if len(got) == 0 {
+		t.Fatal("no prefetches for SLP-covered page")
+	}
+	slp, tlp := p.IssueShare()
+	if slp != 1 || tlp != 0 {
+		t.Fatalf("issue share slp=%d tlp=%d, want 1/0", slp, tlp)
+	}
+}
+
+func TestCoordinatorFallsBackToTLP(t *testing.T) {
+	p, _, tgt, cycle := buildPlanaria(Decoupled)
+	got := p.Issue(acc(tgt, 0, 3, cycle, true))
+	if len(got) == 0 {
+		t.Fatal("no prefetches for TLP-covered page")
+	}
+	slp, tlp := p.IssueShare()
+	if tlp != 1 {
+		t.Fatalf("issue share slp=%d tlp=%d, want TLP to answer", slp, tlp)
+	}
+	// Targets must be the neighbour's surplus blocks on the target page.
+	for _, b := range got {
+		if b.Page() != tgt {
+			t.Fatalf("target %v not on the triggering page", b)
+		}
+	}
+}
+
+func TestCoordinatorNoIssueOnHit(t *testing.T) {
+	p, slpPage, _, cycle := buildPlanaria(Decoupled)
+	if got := p.Issue(acc(slpPage, 0, 4, cycle, false)); got != nil {
+		t.Fatalf("issued %v on a hit", got)
+	}
+}
+
+func TestDisableSLPGivesPureTLP(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.DisableSLP = true
+	p := New(cfg)
+	if p.Name() != "planaria-tlp" {
+		t.Fatalf("name = %q", p.Name())
+	}
+	cycle := uint64(0)
+	for _, o := range []int{1, 2, 3, 4, 5, 6} {
+		p.Train(acc(0x100, 0, o, cycle, true))
+		cycle++
+	}
+	for _, o := range []int{1, 2, 3, 4} {
+		p.Train(acc(0x104, 0, o, cycle, true))
+		cycle++
+	}
+	got := p.Issue(acc(0x104, 0, 4, cycle, true))
+	if len(got) == 0 {
+		t.Fatal("TLP-only issued nothing")
+	}
+	slp, _ := p.IssueShare()
+	if slp != 0 {
+		t.Fatal("SLP issued while disabled")
+	}
+}
+
+func TestDisableTLPGivesPureSLP(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.DisableTLP = true
+	cfg.SLP.Timeout = 100
+	p := New(cfg)
+	if p.Name() != "planaria-slp" {
+		t.Fatalf("name = %q", p.Name())
+	}
+	// TLP-style trigger must yield nothing.
+	cycle := uint64(0)
+	for _, o := range []int{1, 2, 3, 4, 5, 6} {
+		p.Train(acc(0x100, 0, o, cycle, true))
+		cycle++
+	}
+	for _, o := range []int{1, 2, 3} {
+		p.Train(acc(0x104, 0, o, cycle, true))
+		cycle++
+	}
+	if got := p.Issue(acc(0x104, 0, 3, cycle, true)); got != nil {
+		t.Fatalf("TLP issued %v while disabled", got)
+	}
+}
+
+func TestParallelModeUnionsAndDedups(t *testing.T) {
+	p, _, tgt, cycle := buildPlanaria(Parallel)
+	got := p.Issue(acc(tgt, 0, 3, cycle, true))
+	seen := map[addr.BlockNum]bool{}
+	for _, b := range got {
+		if seen[b] {
+			t.Fatalf("duplicate target %v in parallel mode", b)
+		}
+		seen[b] = true
+	}
+}
+
+func TestSerialModeBlindsIdleSubPrefetcher(t *testing.T) {
+	// In Serial (monolithic) mode, pages without SLP metadata train only
+	// TLP and vice versa; the SLP therefore never learns pages it did not
+	// already know — here no page has SLP metadata initially, so SLP
+	// never accumulates anything.
+	cfg := DefaultConfig()
+	cfg.Mode = Serial
+	p := New(cfg)
+	cycle := uint64(0)
+	for _, o := range []int{1, 2, 3, 4, 5} {
+		p.Train(acc(0x100, 0, o, cycle, true))
+		cycle++
+	}
+	promos, _, _ := p.SLP().Counters()
+	if promos != 0 {
+		t.Fatalf("serial coordinator trained SLP on an uncovered page (%d promotions)", promos)
+	}
+	// Decoupled mode trains SLP on the same stream.
+	p2 := New(DefaultConfig())
+	cycle = 0
+	for _, o := range []int{1, 2, 3, 4, 5} {
+		p2.Train(acc(0x100, 0, o, cycle, true))
+		cycle++
+	}
+	promos, _, _ = p2.SLP().Counters()
+	if promos == 0 {
+		t.Fatal("decoupled coordinator did not train SLP")
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if Decoupled.String() != "decoupled" || Serial.String() != "serial" || Parallel.String() != "parallel" {
+		t.Fatal("mode strings")
+	}
+	if New(DefaultConfig()).Name() != "planaria" {
+		t.Fatal("default name")
+	}
+	cfg := DefaultConfig()
+	cfg.Mode = Parallel
+	if New(cfg).Name() != "planaria-parallel" {
+		t.Fatal("parallel name")
+	}
+}
+
+func TestPlanariaReset(t *testing.T) {
+	p, slpPage, _, cycle := buildPlanaria(Decoupled)
+	p.Reset()
+	if got := p.Issue(acc(slpPage, 0, 4, cycle, true)); got != nil {
+		t.Fatalf("issued %v after Reset", got)
+	}
+	slp, tlp := p.IssueShare()
+	if slp != 0 || tlp != 0 {
+		t.Fatal("issue share survived Reset")
+	}
+}
+
+func TestStorageBitsComposition(t *testing.T) {
+	p := New(DefaultConfig())
+	if p.StorageBits() != p.SLP().StorageBits()+p.TLP().StorageBits() {
+		t.Fatal("storage not the sum of sub-prefetchers")
+	}
+}

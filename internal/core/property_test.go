@@ -1,0 +1,175 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/addr"
+	"repro/internal/prefetch"
+)
+
+// TestSLPNeverIssuesTrigger: step 5 prefetches "all the *other* blocks" of
+// the snapshot — the triggering block itself must never be re-requested.
+func TestSLPNeverIssuesTrigger(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cfg := DefaultSLPConfig()
+		cfg.Timeout = 50
+		s := NewSLP(cfg)
+		cycle := uint64(0)
+		for i := 0; i < 400; i++ {
+			p := addr.PageNum(rng.Intn(20))
+			off := rng.Intn(16)
+			a := acc(p, 0, off, cycle, true)
+			s.Train(a)
+			for _, b := range s.Issue(a) {
+				if b == a.Block {
+					return false
+				}
+			}
+			cycle += uint64(rng.Intn(200))
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSLPIssuesStayOnPageAndChannel: every prefetch lands on the triggering
+// page and the triggering channel.
+func TestSLPIssuesStayOnPageAndChannel(t *testing.T) {
+	f := func(seed int64, chRaw uint8) bool {
+		ch := int(chRaw % 4)
+		rng := rand.New(rand.NewSource(seed))
+		cfg := DefaultSLPConfig()
+		cfg.Timeout = 50
+		s := NewSLP(cfg)
+		cycle := uint64(0)
+		for i := 0; i < 400; i++ {
+			p := addr.PageNum(rng.Intn(20))
+			a := acc(p, ch, rng.Intn(16), cycle, true)
+			s.Train(a)
+			for _, b := range s.Issue(a) {
+				if b.Page() != p || b.Channel() != ch {
+					return false
+				}
+			}
+			cycle += uint64(rng.Intn(200))
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestTLPNeverTransfersOwnedBlocks: the transfer set is always disjoint from
+// the page's own observed footprint.
+func TestTLPNeverTransfersOwnedBlocks(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tl := NewTLP(DefaultTLPConfig())
+		// Dense cluster of pages so neighbours exist.
+		base := addr.PageNum(1000)
+		owned := map[addr.PageNum]map[int]bool{}
+		cycle := uint64(0)
+		for i := 0; i < 600; i++ {
+			p := base + addr.PageNum(rng.Intn(8))
+			off := rng.Intn(16)
+			a := acc(p, 0, off, cycle, true)
+			tl.Train(a)
+			if owned[p] == nil {
+				owned[p] = map[int]bool{}
+			}
+			owned[p][off] = true
+			for _, b := range tl.Issue(a) {
+				if owned[p][b.SegOffset()] {
+					return false
+				}
+			}
+			cycle++
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPlanariaParallelSupersetOfDecoupled: with identical training, the
+// parallel coordinator's issue set contains the decoupled coordinator's
+// (serial issuing picks one of the two sets the parallel mode unions).
+func TestPlanariaParallelSupersetOfDecoupled(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		mk := func(mode CoordMode) *Planaria {
+			cfg := DefaultConfig()
+			cfg.Mode = mode
+			cfg.SLP.Timeout = 50
+			return New(cfg)
+		}
+		dec := mk(Decoupled)
+		par := mk(Parallel)
+		cycle := uint64(0)
+		type ev struct {
+			a prefetch.Access
+		}
+		var evs []ev
+		for i := 0; i < 400; i++ {
+			p := addr.PageNum(1000 + rng.Intn(12))
+			a := acc(p, 0, rng.Intn(16), cycle, true)
+			evs = append(evs, ev{a})
+			cycle += uint64(rng.Intn(100))
+		}
+		for _, e := range evs {
+			dec.Train(e.a)
+			par.Train(e.a)
+			d := dec.Issue(e.a)
+			pp := par.Issue(e.a)
+			set := map[addr.BlockNum]bool{}
+			for _, b := range pp {
+				set[b] = true
+			}
+			for _, b := range d {
+				if !set[b] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSLPDeterministic: identical access sequences produce identical issue
+// streams (no hidden randomness in the hardware model).
+func TestSLPDeterministic(t *testing.T) {
+	run := func() []addr.BlockNum {
+		cfg := DefaultSLPConfig()
+		cfg.Timeout = 70
+		s := NewSLP(cfg)
+		var out []addr.BlockNum
+		cycle := uint64(0)
+		for i := 0; i < 500; i++ {
+			p := addr.PageNum(i * 2654435761 % 31)
+			a := acc(p, 0, i*7%16, cycle, true)
+			s.Train(a)
+			out = append(out, s.Issue(a)...)
+			cycle += uint64(i % 97)
+		}
+		return out
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("issue counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("issue %d differs", i)
+		}
+	}
+}

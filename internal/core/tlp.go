@@ -1,0 +1,197 @@
+package core
+
+import (
+	"repro/internal/addr"
+	"repro/internal/bitmap"
+	"repro/internal/prefetch"
+)
+
+// TLPConfig parameterises the transfer-learning sub-prefetcher.
+type TLPConfig struct {
+	RPTEntries    int    // Recent Page Table entries (paper: 128)
+	DistThreshold uint64 // max page-number distance for a learnable neighbour (paper: 64)
+	MinCommon     int    // min common bits before a neighbour pattern is trusted (paper example: 4)
+}
+
+// DefaultTLPConfig matches Section 4.2.
+func DefaultTLPConfig() TLPConfig {
+	return TLPConfig{RPTEntries: 128, DistThreshold: 64, MinCommon: 4}
+}
+
+type rptEntry struct {
+	page  addr.PageNum
+	bits  bitmap.Seg16
+	last  uint64
+	valid bool
+	refs  []bool // refs[j]: entry j is a neighbour of this entry
+}
+
+// TLP is the transfer-learning (inter-page) sub-prefetcher for one channel.
+//
+// Its Recent Page Table (RPT) keeps the footprints of recently observed
+// pages. Each entry carries one "Ref" bit per other entry, set when the two
+// pages are close in page-number space (within DistThreshold). When a page
+// with little history of its own misses, TLP finds its most similar flagged
+// neighbour — largest count of common footprint bits, at least MinCommon —
+// and prefetches the blocks the neighbour accessed that this page has not.
+//
+// Note: the paper's prose inverts the Ref polarity in one sentence
+// ("difference ... larger than a threshold" → set 1); every other part of
+// Section 4 requires neighbours to be close, so Ref here means "within the
+// distance threshold" (see DESIGN.md).
+type TLP struct {
+	cfg TLPConfig
+	rpt []rptEntry
+	idx map[addr.PageNum]int
+
+	issues uint64
+}
+
+// NewTLP builds a TLP instance.
+func NewTLP(cfg TLPConfig) *TLP {
+	if cfg.RPTEntries <= 0 {
+		cfg.RPTEntries = 128
+	}
+	if cfg.DistThreshold == 0 {
+		cfg.DistThreshold = 64
+	}
+	if cfg.MinCommon <= 0 {
+		cfg.MinCommon = 3
+	}
+	t := &TLP{cfg: cfg}
+	t.rpt = make([]rptEntry, cfg.RPTEntries)
+	for i := range t.rpt {
+		t.rpt[i].refs = make([]bool, cfg.RPTEntries)
+	}
+	t.idx = make(map[addr.PageNum]int, cfg.RPTEntries)
+	return t
+}
+
+// Name implements prefetch.Prefetcher.
+func (t *TLP) Name() string { return "tlp" }
+
+// Reset implements prefetch.Prefetcher.
+func (t *TLP) Reset() {
+	for i := range t.rpt {
+		e := &t.rpt[i]
+		e.page, e.bits, e.last, e.valid = 0, 0, 0, false
+		for j := range e.refs {
+			e.refs[j] = false
+		}
+	}
+	t.idx = make(map[addr.PageNum]int, len(t.rpt))
+	t.issues = 0
+}
+
+// Train implements prefetch.Prefetcher (the TLP learning phase): record the
+// block in the page's RPT footprint, allocating an entry and recomputing its
+// Ref bits on first sight.
+func (t *TLP) Train(a prefetch.Access) {
+	p := a.Page()
+	off := a.Block.SegOffset()
+	if i, ok := t.idx[p]; ok {
+		e := &t.rpt[i]
+		e.bits = e.bits.Set(off)
+		e.last = a.Cycle
+		return
+	}
+	i := t.allocate()
+	e := &t.rpt[i]
+	if e.valid {
+		delete(t.idx, e.page)
+	}
+	e.page = p
+	e.bits = bitmap.Seg16(0).Set(off)
+	e.last = a.Cycle
+	e.valid = true
+	t.idx[p] = i
+	// Recompute the Ref bits between the new entry and every other valid
+	// entry (the hardware sets these with one comparator per entry).
+	for j := range t.rpt {
+		if j == i {
+			e.refs[j] = false
+			continue
+		}
+		o := &t.rpt[j]
+		near := o.valid && p.Distance(o.page) <= t.cfg.DistThreshold
+		e.refs[j] = near
+		o.refs[i] = near
+	}
+}
+
+// allocate returns the RPT slot for a new page: an invalid slot if one
+// exists, otherwise the least recently used.
+func (t *TLP) allocate() int {
+	lru := 0
+	for i := range t.rpt {
+		if !t.rpt[i].valid {
+			return i
+		}
+		if t.rpt[i].last < t.rpt[lru].last {
+			lru = i
+		}
+	}
+	return lru
+}
+
+// BestNeighbor returns the most similar flagged neighbour entry of page p
+// and the blocks it would transfer (neighbour minus self), or ok=false.
+func (t *TLP) BestNeighbor(p addr.PageNum) (neighbor addr.PageNum, transfer bitmap.Seg16, ok bool) {
+	i, exists := t.idx[p]
+	if !exists {
+		return 0, 0, false
+	}
+	self := &t.rpt[i]
+	best := -1
+	bestCommon := t.cfg.MinCommon - 1
+	for j := range t.rpt {
+		if !self.refs[j] || !t.rpt[j].valid {
+			continue
+		}
+		c := self.bits.Common(t.rpt[j].bits)
+		if c > bestCommon {
+			bestCommon = c
+			best = j
+		}
+	}
+	if best == -1 {
+		return 0, 0, false
+	}
+	tr := t.rpt[best].bits.Minus(self.bits)
+	if tr == 0 {
+		return 0, 0, false
+	}
+	return t.rpt[best].page, tr, true
+}
+
+// Issue implements prefetch.Prefetcher (the TLP issuing phase): on a demand
+// miss, transfer the best neighbour's surplus footprint onto this page.
+func (t *TLP) Issue(a prefetch.Access) []addr.BlockNum {
+	if !a.Miss {
+		return nil
+	}
+	p := a.Page()
+	_, transfer, ok := t.BestNeighbor(p)
+	if !ok {
+		return nil
+	}
+	ch := a.Block.Channel()
+	offs := transfer.Offsets()
+	out := make([]addr.BlockNum, 0, len(offs))
+	for _, o := range offs {
+		out = append(out, p.Block(addr.OffsetOf(ch, o)))
+	}
+	t.issues++
+	return out
+}
+
+// Issues returns the number of Issue calls that produced prefetches.
+func (t *TLP) Issues() uint64 { return t.issues }
+
+// StorageBits implements prefetch.Prefetcher: each RPT entry holds a page
+// tag (36 b), a 16-bit bitmap, a 16-bit timestamp, a valid bit and N−1
+// useful Ref bits (Section 4.2).
+func (t *TLP) StorageBits() int {
+	n := len(t.rpt)
+	return n * (36 + 16 + 16 + 1 + (n - 1))
+}

@@ -1,0 +1,42 @@
+package dram
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/addr"
+)
+
+// BenchmarkControllerRandom measures service cost for row-miss-heavy
+// traffic, the expensive path.
+func BenchmarkControllerRandom(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	c := NewController(DefaultConfig())
+	clock := uint64(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		clock += uint64(rng.Intn(40))
+		_ = c.Enqueue(&Request{
+			Block:   addr.PageNum(rng.Intn(100000)).Block(rng.Intn(16)),
+			Arrival: clock,
+			Write:   i%5 == 0,
+		})
+	}
+	c.Flush()
+}
+
+// BenchmarkControllerRowLocal measures the row-hit fast path (batched
+// same-page traffic, Planaria's signature pattern).
+func BenchmarkControllerRowLocal(b *testing.B) {
+	c := NewController(DefaultConfig())
+	clock := uint64(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		clock += 12
+		_ = c.Enqueue(&Request{
+			Block:   addr.PageNum(uint64(i) / 16).Block(i % 16),
+			Arrival: clock,
+		})
+	}
+	c.Flush()
+}

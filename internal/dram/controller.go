@@ -1,0 +1,454 @@
+package dram
+
+import (
+	"fmt"
+
+	"repro/internal/addr"
+)
+
+// Request is one block transfer handled by a channel controller. The engine
+// fills the input fields and reads the output fields after the request has
+// been serviced.
+type Request struct {
+	Block      addr.BlockNum // block to transfer (must belong to this channel)
+	Write      bool          // write (fill writeback) vs read
+	Prefetch   bool          // prefetch-originated (lower scheduling priority)
+	WriteAlloc bool          // write-allocate fetch: demand priority, but not a demand read for latency stats
+	Arrival    uint64        // cycle the request reaches the controller
+
+	// Outputs, valid once serviced.
+	IssueAt  uint64 // first command issue time
+	Done     uint64 // data burst completion time
+	RowHit   bool   // serviced from an open row
+	Serviced bool
+}
+
+// Latency returns the request's total service latency including queueing.
+func (r *Request) Latency() uint64 {
+	if !r.Serviced || r.Done < r.Arrival {
+		return 0
+	}
+	return r.Done - r.Arrival
+}
+
+// Stats counts commands and occupancy for performance and power analysis.
+type Stats struct {
+	Reads              uint64
+	Writes             uint64
+	Activates          uint64
+	Precharges         uint64
+	Refreshes          uint64
+	RowHits            uint64
+	RowMisses          uint64 // row conflicts (PRE+ACT needed)
+	RowEmpty           uint64 // bank closed (ACT needed)
+	DemandReads        uint64
+	PrefReads          uint64
+	AllocReads         uint64 // write-allocate fetches
+	TotalDemandReadLat uint64 // sum of demand read latencies
+	BusBusy            uint64 // cycles the data bus carried bursts
+	LastDone           uint64 // completion time of the latest burst
+
+	// Power-down residency (Table 1's tCKE/tXP): cycles spent with CKE
+	// low, and the number of power-down entries. Background power drops
+	// sharply while powered down; each exit costs tXP before the next
+	// command.
+	PowerDownCycles  uint64
+	PowerDownEntries uint64
+
+	// LatencyHist buckets demand read latencies: <50, <100, <200, <400,
+	// <800, <1600, <3200, rest.
+	LatencyHist [8]uint64
+}
+
+// latencyBucket maps a latency to its LatencyHist index.
+func latencyBucket(lat uint64) int {
+	bound := uint64(50)
+	for i := 0; i < 7; i++ {
+		if lat < bound {
+			return i
+		}
+		bound *= 2
+	}
+	return 7
+}
+
+// AvgDemandReadLatency returns the mean demand read latency in cycles.
+func (s Stats) AvgDemandReadLatency() float64 {
+	if s.DemandReads == 0 {
+		return 0
+	}
+	return float64(s.TotalDemandReadLat) / float64(s.DemandReads)
+}
+
+// Config parameterises a channel controller.
+type Config struct {
+	Timing   Timing
+	Geometry addr.DRAMGeometry
+	Window   int // FR-FCFS reorder window (requests considered per pick)
+	// StarveLimit caps how many times the oldest queued request may be
+	// bypassed by younger row-hit/demand requests before it is forced to
+	// issue (the standard FR-FCFS anti-starvation counter).
+	StarveLimit int
+	// Linger is the longest a queued request may wait for FR-FCFS
+	// reordering candidates, in cycles. A request is serviced as soon as
+	// a newer arrival proves that much time has passed, so at low load
+	// requests issue (and are timed) essentially at their arrival.
+	Linger uint64
+	// PowerDownIdle is the idle-cycle threshold after which the channel
+	// enters precharge power-down (CKE low). Zero selects the default of
+	// 4 × tREFI/100 ≈ a few hundred cycles; negative disables power-down.
+	PowerDownIdle int
+}
+
+// DefaultConfig returns Table 1 timings, the default geometry and a
+// 16-request reorder window.
+func DefaultConfig() Config {
+	return Config{Timing: Table1Timing(), Geometry: addr.DefaultDRAMGeometry(), Window: 16, StarveLimit: 4, Linger: 64}
+}
+
+type bankState struct {
+	hasRow      bool
+	acted       bool // bank has been activated at least once
+	openRow     uint64
+	lastActAt   uint64 // issue time of last ACT
+	earliestPre uint64 // earliest time a PRE may issue
+	earliestCAS uint64 // earliest time a RD/WR may issue
+}
+
+// Controller services one DRAM channel. Requests must be enqueued in
+// non-decreasing arrival order; servicing happens lazily once the reorder
+// window fills, and Flush drains the remainder. Not safe for concurrent use.
+type Controller struct {
+	cfg   Config
+	banks []bankState
+
+	lastActTimes  []uint64 // recent ACT issue times for tRRD/tFAW
+	lastActBank   int      // bank of the most recent ACT (scheduler hint)
+	lastCASAt     uint64   // last RD/WR issue (tCCD)
+	lastBusyAt    uint64   // completion time of the most recent activity
+	lastWasWrite  bool
+	lastWrDataEnd uint64 // end of last write burst (tWTR/tWR interactions)
+	busFreeAt     uint64 // data bus availability
+	nextRefresh   uint64
+
+	queue      []*Request
+	headBypass int // consecutive picks that bypassed the oldest request
+	stats      Stats
+
+	// TraceFn, when non-nil, is invoked with every request right after it
+	// is serviced (debugging and tooling hook).
+	TraceFn func(*Request)
+}
+
+// NewController builds a channel controller; it panics on invalid timing
+// (construction-time programming error).
+func NewController(cfg Config) *Controller {
+	if err := cfg.Timing.Validate(); err != nil {
+		panic(err)
+	}
+	if cfg.Window <= 0 {
+		cfg.Window = 16
+	}
+	if cfg.StarveLimit <= 0 {
+		cfg.StarveLimit = 4
+	}
+	if cfg.Linger == 0 {
+		cfg.Linger = 64
+	}
+	g := cfg.Geometry
+	if g.Banks == 0 {
+		g = addr.DefaultDRAMGeometry()
+		cfg.Geometry = g
+	}
+	return &Controller{
+		cfg:          cfg,
+		banks:        make([]bankState, g.Banks),
+		lastActTimes: make([]uint64, 0, 8),
+		nextRefresh:  uint64(cfg.Timing.TREFI),
+	}
+}
+
+// Stats returns a snapshot of accumulated statistics.
+func (c *Controller) Stats() Stats { return c.stats }
+
+// ResetStats zeroes the statistics counters without touching timing state
+// (used to discard warmup).
+func (c *Controller) ResetStats() { c.stats = Stats{} }
+
+// QueueLen returns the number of unserviced requests.
+func (c *Controller) QueueLen() int { return len(c.queue) }
+
+// Enqueue adds a request. Requests must arrive in non-decreasing order of
+// Arrival; violations are reported so the engine's merge logic cannot rot
+// silently.
+func (c *Controller) Enqueue(r *Request) error {
+	if n := len(c.queue); n > 0 && r.Arrival < c.queue[n-1].Arrival {
+		return fmt.Errorf("dram: out-of-order enqueue: %d after %d", r.Arrival, c.queue[n-1].Arrival)
+	}
+	c.queue = append(c.queue, r)
+	for len(c.queue) > c.cfg.Window ||
+		(len(c.queue) > 0 && c.queue[0].Arrival+c.cfg.Linger <= r.Arrival) {
+		c.serviceOne()
+	}
+	return nil
+}
+
+// Flush services every queued request.
+func (c *Controller) Flush() {
+	for len(c.queue) > 0 {
+		c.serviceOne()
+	}
+}
+
+// serviceOne picks the best candidate within the reorder window under
+// FR-FCFS with demand priority, computes its command schedule analytically
+// and records completion.
+func (c *Controller) serviceOne() {
+	w := len(c.queue)
+	if w > c.cfg.Window {
+		w = c.cfg.Window
+	}
+	if c.headBypass >= c.cfg.StarveLimit {
+		c.headBypass = 0
+		r := c.queue[0]
+		c.queue = c.queue[1:]
+		c.execute(r)
+		return
+	}
+	best := 0
+	bestScore := -1
+	for i := 0; i < w; i++ {
+		r := c.queue[i]
+		co := c.cfg.Geometry.Map(r.Block)
+		b := &c.banks[co.Bank]
+		// FR-FCFS: open-row hits first (they are cheap and keep the
+		// row open for their siblings), then demands over prefetches,
+		// then bank readiness (avoid back-to-back ACTs on one bank,
+		// which serialise on tRC), then age.
+		score := 0
+		if b.hasRow && b.openRow == co.Row {
+			score += 8
+		}
+		if !r.Prefetch {
+			score += 4
+		}
+		if co.Bank != c.lastActBank {
+			score++
+		}
+		if score > bestScore {
+			bestScore = score
+			best = i
+		}
+	}
+	if best == 0 {
+		c.headBypass = 0
+	} else {
+		c.headBypass++
+	}
+	r := c.queue[best]
+	c.queue = append(c.queue[:best], c.queue[best+1:]...)
+	c.execute(r)
+}
+
+// refreshDelay advances the refresh schedule up to time t and returns the
+// earliest command time at or after t that does not collide with a refresh
+// window. Refresh is modelled as an all-bank operation closing every row.
+func (c *Controller) refreshDelay(t uint64) uint64 {
+	tm := c.cfg.Timing
+	for t >= c.nextRefresh {
+		refStart := c.nextRefresh
+		refEnd := refStart + uint64(tm.TRFC)
+		c.stats.Refreshes++
+		for i := range c.banks {
+			c.banks[i].hasRow = false
+			if c.banks[i].earliestCAS < refEnd {
+				c.banks[i].earliestCAS = refEnd
+			}
+			if c.banks[i].earliestPre < refEnd {
+				c.banks[i].earliestPre = refEnd
+			}
+		}
+		if t < refEnd {
+			t = refEnd
+		}
+		c.nextRefresh += uint64(tm.TREFI)
+	}
+	return t
+}
+
+// actConstraint returns the earliest time an ACT may issue at or after t,
+// honouring tRRD against the previous ACT and the tFAW sliding window.
+func (c *Controller) actConstraint(t uint64) uint64 {
+	tm := c.cfg.Timing
+	n := len(c.lastActTimes)
+	if n > 0 {
+		if e := c.lastActTimes[n-1] + uint64(tm.TRRD); e > t {
+			t = e
+		}
+	}
+	if n >= 4 {
+		if e := c.lastActTimes[n-4] + uint64(tm.TFAW); e > t {
+			t = e
+		}
+	}
+	return t
+}
+
+func (c *Controller) noteAct(t uint64) {
+	c.lastActTimes = append(c.lastActTimes, t)
+	if len(c.lastActTimes) > 4 {
+		c.lastActTimes = c.lastActTimes[1:]
+	}
+	c.stats.Activates++
+}
+
+// powerDown models precharge power-down across an idle gap before time t:
+// if the channel was idle long enough to pull CKE low (threshold + tCKE),
+// the powered-down cycles are recorded and the wake-up costs tXP.
+func (c *Controller) powerDown(t uint64) uint64 {
+	if c.cfg.PowerDownIdle < 0 {
+		return t
+	}
+	threshold := uint64(c.cfg.PowerDownIdle)
+	if threshold == 0 {
+		threshold = 4 * uint64(c.cfg.Timing.TREFI) / 100
+	}
+	tm := c.cfg.Timing
+	if t > c.lastBusyAt && t-c.lastBusyAt > threshold+uint64(tm.TCKE) {
+		c.stats.PowerDownEntries++
+		c.stats.PowerDownCycles += t - c.lastBusyAt - threshold
+		t += uint64(tm.TXP)
+	}
+	return t
+}
+
+// execute schedules the commands for request r and fills its outputs.
+func (c *Controller) execute(r *Request) {
+	tm := c.cfg.Timing
+	co := c.cfg.Geometry.Map(r.Block)
+	b := &c.banks[co.Bank]
+
+	t := c.refreshDelay(r.Arrival)
+	t = c.powerDown(t)
+
+	rowHit := b.hasRow && b.openRow == co.Row
+	switch {
+	case rowHit:
+		c.stats.RowHits++
+	case b.hasRow:
+		c.stats.RowMisses++
+	default:
+		c.stats.RowEmpty++
+	}
+
+	if !rowHit {
+		if b.hasRow {
+			// Row conflict: precharge, then activate.
+			pre := maxU(t, b.earliestPre)
+			c.stats.Precharges++
+			actMin := pre + uint64(tm.TRP)
+			if e := b.lastActAt + uint64(tm.TRC); e > actMin {
+				actMin = e
+			}
+			t = c.actConstraint(actMin)
+		} else {
+			if e := b.lastActAt + uint64(tm.TRC); b.acted && e > t {
+				t = e
+			}
+			t = c.actConstraint(t)
+		}
+		c.noteAct(t)
+		c.lastActBank = co.Bank
+		b.acted = true
+		b.lastActAt = t
+		b.hasRow = true
+		b.openRow = co.Row
+		b.earliestPre = t + uint64(tm.TRAS)
+		b.earliestCAS = t + uint64(tm.TRCD)
+	}
+
+	// CAS issue time: bank ready, channel CAS-to-CAS gap, turnaround and
+	// data-bus availability.
+	cas := maxU(t, b.earliestCAS)
+	if e := c.lastCASAt + uint64(tm.TCCD); e > cas && c.stats.Reads+c.stats.Writes > 0 {
+		cas = e
+	}
+	burst := uint64(tm.BurstCycles())
+	if r.Write {
+		// Data occupies the bus CWL after the WR command.
+		if e := c.busFreeAt; e+0 > cas+uint64(tm.CWL) {
+			cas = e - uint64(tm.CWL)
+		}
+		if !c.lastWasWrite && c.stats.Reads > 0 {
+			// read→write turnaround
+			if e := c.busFreeAt + uint64(tm.TRTRS); e > cas+uint64(tm.CWL) {
+				cas = e - uint64(tm.CWL)
+			}
+		}
+		dataStart := cas + uint64(tm.CWL)
+		dataEnd := dataStart + burst
+		c.busFreeAt = dataEnd
+		c.lastWrDataEnd = dataEnd
+		c.lastWasWrite = true
+		c.lastCASAt = cas
+		// Write recovery gates future PRE.
+		if e := dataEnd + uint64(tm.TWR); e > b.earliestPre {
+			b.earliestPre = e
+		}
+		c.stats.Writes++
+		c.stats.BusBusy += burst
+		r.IssueAt = cas
+		r.Done = dataEnd
+	} else {
+		if c.lastWasWrite {
+			// write→read turnaround: tWTR after the write burst.
+			if e := c.lastWrDataEnd + uint64(tm.TWTR); e > cas {
+				cas = e
+			}
+		}
+		if e := c.busFreeAt; e > cas+uint64(tm.CL) {
+			cas = e - uint64(tm.CL)
+		}
+		dataStart := cas + uint64(tm.CL)
+		dataEnd := dataStart + burst
+		c.busFreeAt = dataEnd
+		c.lastWasWrite = false
+		c.lastCASAt = cas
+		// Read-to-precharge constraint.
+		if e := cas + uint64(tm.TRTP); e > b.earliestPre {
+			b.earliestPre = e
+		}
+		c.stats.Reads++
+		c.stats.BusBusy += burst
+		switch {
+		case r.Prefetch:
+			c.stats.PrefReads++
+		case r.WriteAlloc:
+			c.stats.AllocReads++
+		default:
+			c.stats.DemandReads++
+			c.stats.TotalDemandReadLat += dataEnd - r.Arrival
+			c.stats.LatencyHist[latencyBucket(dataEnd-r.Arrival)]++
+		}
+		r.IssueAt = cas
+		r.Done = dataEnd
+	}
+	if r.Done > c.stats.LastDone {
+		c.stats.LastDone = r.Done
+	}
+	if r.Done > c.lastBusyAt {
+		c.lastBusyAt = r.Done
+	}
+	r.RowHit = rowHit
+	r.Serviced = true
+	if c.TraceFn != nil {
+		c.TraceFn(r)
+	}
+}
+
+func maxU(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}

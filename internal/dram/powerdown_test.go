@@ -1,0 +1,63 @@
+package dram
+
+import (
+	"testing"
+
+	"repro/internal/addr"
+)
+
+func TestPowerDownOnIdleGap(t *testing.T) {
+	c := newCtl()
+	tm := Table1Timing()
+	r1 := &Request{Block: block(1, 0), Arrival: 0}
+	// A long idle gap (well past the default threshold) before r2.
+	r2 := &Request{Block: block(1, 1), Arrival: 50_000}
+	service(c, r1)
+	service(c, r2)
+	s := c.Stats()
+	if s.PowerDownEntries != 1 {
+		t.Fatalf("PowerDownEntries = %d, want 1", s.PowerDownEntries)
+	}
+	if s.PowerDownCycles == 0 || s.PowerDownCycles > 50_000 {
+		t.Fatalf("PowerDownCycles = %d implausible", s.PowerDownCycles)
+	}
+	// The wake-up costs tXP: the second request's issue is pushed past
+	// arrival even though the bank row is open.
+	if r2.IssueAt < r2.Arrival+uint64(tm.TXP) {
+		t.Fatalf("no tXP wake-up penalty: issue %d, arrival %d", r2.IssueAt, r2.Arrival)
+	}
+}
+
+func TestNoPowerDownUnderSteadyTraffic(t *testing.T) {
+	c := newCtl()
+	var reqs []*Request
+	for i := 0; i < 100; i++ {
+		reqs = append(reqs, &Request{Block: block(addr.PageNum(i%7), i%16), Arrival: uint64(i * 40)})
+	}
+	service(c, reqs...)
+	if got := c.Stats().PowerDownEntries; got != 0 {
+		t.Fatalf("powered down %d times under 40-cycle spacing", got)
+	}
+}
+
+func TestPowerDownDisable(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.PowerDownIdle = -1
+	c := NewController(cfg)
+	service(c, &Request{Block: block(1, 0), Arrival: 0})
+	service(c, &Request{Block: block(1, 1), Arrival: 500_000})
+	if got := c.Stats().PowerDownEntries; got != 0 {
+		t.Fatalf("power-down fired while disabled (%d entries)", got)
+	}
+}
+
+func TestPowerDownCustomThreshold(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.PowerDownIdle = 100
+	c := NewController(cfg)
+	service(c, &Request{Block: block(1, 0), Arrival: 0})
+	service(c, &Request{Block: block(1, 1), Arrival: 400}) // > 100 + tCKE idle
+	if got := c.Stats().PowerDownEntries; got != 1 {
+		t.Fatalf("PowerDownEntries = %d with a 100-cycle threshold", got)
+	}
+}

@@ -1,0 +1,110 @@
+package dram
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/addr"
+)
+
+// TestDataBusExclusive: the data bus carries one burst at a time — sorted by
+// completion, consecutive bursts never overlap.
+func TestDataBusExclusive(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		c := newCtl()
+		var done []uint64
+		c.TraceFn = func(r *Request) { done = append(done, r.Done) }
+		var reqs []*Request
+		clock := uint64(0)
+		for i := 0; i < 3000; i++ {
+			clock += uint64(rng.Intn(30))
+			reqs = append(reqs, &Request{
+				Block:    addr.PageNum(rng.Intn(500)).Block(rng.Intn(16)),
+				Arrival:  clock,
+				Write:    rng.Intn(5) == 0,
+				Prefetch: rng.Intn(3) == 0,
+			})
+		}
+		service(c, reqs...)
+		sort.Slice(done, func(i, j int) bool { return done[i] < done[j] })
+		burst := uint64(Table1Timing().BurstCycles())
+		for i := 1; i < len(done); i++ {
+			if done[i]-done[i-1] < burst {
+				t.Fatalf("seed %d: bursts %d and %d overlap (done %d, %d)",
+					seed, i-1, i, done[i-1], done[i])
+			}
+		}
+	}
+}
+
+// TestServiceCompleteAndCausal: every enqueued request is serviced exactly
+// once, never before its arrival.
+func TestServiceCompleteAndCausal(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	c := newCtl()
+	seen := map[*Request]int{}
+	c.TraceFn = func(r *Request) { seen[r]++ }
+	var reqs []*Request
+	clock := uint64(0)
+	for i := 0; i < 2000; i++ {
+		clock += uint64(rng.Intn(50))
+		reqs = append(reqs, &Request{
+			Block:   addr.PageNum(rng.Intn(100)).Block(rng.Intn(16)),
+			Arrival: clock,
+			Write:   rng.Intn(4) == 0,
+		})
+	}
+	service(c, reqs...)
+	for i, r := range reqs {
+		if seen[r] != 1 {
+			t.Fatalf("request %d serviced %d times", i, seen[r])
+		}
+		if r.IssueAt < r.Arrival {
+			t.Fatalf("request %d issued at %d before arrival %d", i, r.IssueAt, r.Arrival)
+		}
+	}
+	s := c.Stats()
+	if s.Reads+s.Writes != uint64(len(reqs)) {
+		t.Fatalf("stats count %d != %d", s.Reads+s.Writes, len(reqs))
+	}
+}
+
+// TestStatsConsistency: row bookkeeping and latency histogram totals agree
+// with the command counts.
+func TestStatsConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	c := newCtl()
+	var reqs []*Request
+	clock := uint64(0)
+	for i := 0; i < 2000; i++ {
+		clock += uint64(rng.Intn(40))
+		reqs = append(reqs, &Request{
+			Block:    addr.PageNum(rng.Intn(200)).Block(rng.Intn(16)),
+			Arrival:  clock,
+			Write:    rng.Intn(6) == 0,
+			Prefetch: rng.Intn(4) == 0,
+		})
+	}
+	service(c, reqs...)
+	s := c.Stats()
+	if s.RowHits+s.RowMisses+s.RowEmpty != s.Reads+s.Writes {
+		t.Fatalf("row classes %d don't sum to commands %d",
+			s.RowHits+s.RowMisses+s.RowEmpty, s.Reads+s.Writes)
+	}
+	var histTotal uint64
+	for _, n := range s.LatencyHist {
+		histTotal += n
+	}
+	if histTotal != s.DemandReads {
+		t.Fatalf("latency histogram %d entries != demand reads %d", histTotal, s.DemandReads)
+	}
+	if s.DemandReads+s.PrefReads+s.AllocReads != s.Reads {
+		t.Fatalf("read classes don't sum: %d+%d+%d != %d",
+			s.DemandReads, s.PrefReads, s.AllocReads, s.Reads)
+	}
+	if s.Activates != s.RowMisses+s.RowEmpty {
+		t.Fatalf("activates %d != misses %d + empty %d", s.Activates, s.RowMisses, s.RowEmpty)
+	}
+}

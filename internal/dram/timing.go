@@ -1,0 +1,80 @@
+// Package dram implements the LPDDR4 memory model of the Planaria
+// reproduction — the role DRAMSim2 plays in the paper (Section 5, Table 1).
+//
+// The model is event-driven rather than cycle-ticked: requests are scheduled
+// per channel in FR-FCFS order within a small reorder window, and every
+// command's issue time is computed analytically from per-bank timestamps and
+// channel-level constraints (CAS-to-CAS gap, write-to-read turnaround, the
+// tFAW four-activate window, periodic refresh, and data-bus occupancy). This
+// reproduces the first-order latency, bandwidth and row-buffer behaviour that
+// drives the paper's AMAT, traffic and power results at a small fraction of a
+// cycle-accurate simulator's cost.
+package dram
+
+import "fmt"
+
+// Timing holds the LPDDR4 timing parameters in memory-controller cycles.
+// Field names follow the JEDEC parameters quoted in Table 1 of the paper.
+type Timing struct {
+	TRAS  int // ACT → PRE minimum
+	TRCD  int // ACT → CAS
+	TRRD  int // ACT → ACT (different banks)
+	TRC   int // ACT → ACT (same bank)
+	TRP   int // PRE → ACT
+	TCCD  int // CAS → CAS
+	TRTP  int // RD → PRE
+	TWTR  int // WR data end → RD
+	TWR   int // WR data end → PRE
+	TRTRS int // bus turnaround between read and write bursts
+	TRFC  int // refresh cycle time
+	TFAW  int // four-activate window
+	TCKE  int // CKE minimum pulse width (power-down entry)
+	TXP   int // power-down exit → valid command
+	TCMD  int // command transport time
+	BL    int // burst length (beats)
+
+	CL    int // read CAS latency
+	CWL   int // write CAS latency
+	TREFI int // refresh interval
+}
+
+// Table1Timing returns the timing parameters exactly as listed in Table 1 of
+// the paper, plus CAS latencies and refresh interval typical of LPDDR4-3200
+// (which Table 1 omits).
+func Table1Timing() Timing {
+	return Timing{
+		TRAS: 51, TRCD: 16, TRRD: 12, TRC: 76, TRP: 16,
+		TCCD: 8, TRTP: 9, TWTR: 12, TWR: 22, TRTRS: 2,
+		TRFC: 216, TFAW: 48, TCKE: 9, TXP: 9, TCMD: 1, BL: 16,
+		CL: 28, CWL: 14, TREFI: 6240,
+	}
+}
+
+// BurstCycles returns the number of cycles a data burst occupies the bus
+// (double data rate: BL beats / 2).
+func (t Timing) BurstCycles() int { return t.BL / 2 }
+
+// Validate reports nonsensical parameter combinations.
+func (t Timing) Validate() error {
+	type check struct {
+		name string
+		v    int
+	}
+	for _, c := range []check{
+		{"tRAS", t.TRAS}, {"tRCD", t.TRCD}, {"tRRD", t.TRRD}, {"tRC", t.TRC},
+		{"tRP", t.TRP}, {"tCCD", t.TCCD}, {"tRTP", t.TRTP}, {"tWTR", t.TWTR},
+		{"tWR", t.TWR}, {"tRFC", t.TRFC}, {"tFAW", t.TFAW}, {"BL", t.BL},
+		{"CL", t.CL}, {"CWL", t.CWL}, {"tREFI", t.TREFI},
+	} {
+		if c.v <= 0 {
+			return fmt.Errorf("dram: %s must be positive, got %d", c.name, c.v)
+		}
+	}
+	if t.TRC < t.TRAS+t.TRP {
+		return fmt.Errorf("dram: tRC (%d) < tRAS+tRP (%d)", t.TRC, t.TRAS+t.TRP)
+	}
+	if t.BL%2 != 0 {
+		return fmt.Errorf("dram: burst length %d must be even", t.BL)
+	}
+	return nil
+}

@@ -1,0 +1,459 @@
+// Package experiments contains one runner per figure and table of the
+// paper's evaluation, shared by cmd/experiments and the benchmark harness in
+// bench_test.go. Each runner generates the workload traces, drives the
+// simulator and returns the same rows/series the paper reports.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/analysis"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/workloads"
+)
+
+// Options controls experiment scale.
+type Options struct {
+	Requests int // trace length per app (paper: ~68 M; default here: 800k)
+	// Warmup is the fraction of each trace run before statistics are
+	// reset (standard trace-simulation warmup; negative disables, zero
+	// selects the default of 0.2).
+	Warmup  float64
+	Verbose bool
+}
+
+// DefaultOptions returns the default experiment scale: large enough for
+// stable shapes, small enough to run in seconds per app.
+func DefaultOptions() Options { return Options{Requests: 800_000} }
+
+func (o Options) requests() int {
+	if o.Requests <= 0 {
+		return 800_000
+	}
+	return o.Requests
+}
+
+func (o Options) warmup() float64 {
+	switch {
+	case o.Warmup < 0:
+		return 0
+	case o.Warmup == 0:
+		return 0.2
+	case o.Warmup > 0.9:
+		return 0.9
+	}
+	return o.Warmup
+}
+
+// traceCache memoises generated traces per (abbr, length) within one
+// process so multi-prefetcher experiments reuse identical inputs. It is
+// mutex-guarded because sweeps run apps concurrently.
+type traceCache struct {
+	mu sync.Mutex
+	m  map[string]trace.Trace
+}
+
+var traces = traceCache{m: map[string]trace.Trace{}}
+
+// TraceFor returns the deterministic trace of an app at the given length.
+func TraceFor(p workloads.Profile, n int) trace.Trace {
+	key := fmt.Sprintf("%s/%d", p.Abbr, n)
+	traces.mu.Lock()
+	t, ok := traces.m[key]
+	traces.mu.Unlock()
+	if ok {
+		return t
+	}
+	t = p.Generate(n)
+	traces.mu.Lock()
+	traces.m[key] = t
+	traces.mu.Unlock()
+	return t
+}
+
+// runWarm drives a trace through an engine with the options' warmup window
+// discarded from the statistics.
+func runWarm(eng *sim.Engine, t trace.Trace, name string, opts Options) (metrics.Report, error) {
+	w := int(float64(len(t)) * opts.warmup())
+	for _, rec := range t[:w] {
+		if err := eng.Step(rec); err != nil {
+			return metrics.Report{}, err
+		}
+	}
+	eng.ResetStats()
+	for _, rec := range t[w:] {
+		if err := eng.Step(rec); err != nil {
+			return metrics.Report{}, err
+		}
+	}
+	return eng.Finish(name), nil
+}
+
+// RunOne simulates one app trace under one named prefetcher.
+func RunOne(p workloads.Profile, pf string, opts Options) (metrics.Report, error) {
+	factory, err := sim.NamedPrefetcher(pf)
+	if err != nil {
+		return metrics.Report{}, err
+	}
+	cfg := sim.DefaultConfig()
+	cfg.NewPrefetcher = factory
+	eng := sim.New(cfg)
+	return runWarm(eng, TraceFor(p, opts.requests()), p.Abbr, opts)
+}
+
+// Sweep runs every catalog app under every named prefetcher. Runs are
+// independent and deterministic, so they execute concurrently (bounded by
+// GOMAXPROCS); results are identical to a serial sweep.
+func Sweep(prefetchers []string, opts Options) (map[string]map[string]metrics.Report, error) {
+	type job struct {
+		app workloads.Profile
+		pf  string
+	}
+	var jobs []job
+	for _, p := range workloads.Catalog() {
+		// Generate each trace once up front (the per-trace cache is
+		// shared; generating inside workers would duplicate work).
+		TraceFor(p, opts.requests())
+		for _, pf := range prefetchers {
+			jobs = append(jobs, job{app: p, pf: pf})
+		}
+	}
+
+	var (
+		mu     sync.Mutex
+		out    = make(map[string]map[string]metrics.Report)
+		first  error
+		wg     sync.WaitGroup
+		tokens = make(chan struct{}, runtime.GOMAXPROCS(0))
+	)
+	for _, j := range jobs {
+		wg.Add(1)
+		tokens <- struct{}{}
+		go func(j job) {
+			defer wg.Done()
+			defer func() { <-tokens }()
+			rep, err := RunOne(j.app, j.pf, opts)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				if first == nil {
+					first = err
+				}
+				return
+			}
+			if out[j.app.Abbr] == nil {
+				out[j.app.Abbr] = make(map[string]metrics.Report)
+			}
+			out[j.app.Abbr][j.pf] = rep
+		}(j)
+	}
+	wg.Wait()
+	if first != nil {
+		return nil, first
+	}
+	return out, nil
+}
+
+// EvalPrefetchers is the prefetcher set of Figures 7, 8 and 10.
+var EvalPrefetchers = []string{"none", "bop", "spp", "planaria"}
+
+// Row formatting helpers shared by the runners.
+
+func header(w io.Writer, title string, cols []string) {
+	fmt.Fprintf(w, "\n== %s ==\n", title)
+	fmt.Fprintf(w, "%-6s", "app")
+	for _, c := range cols {
+		fmt.Fprintf(w, "%12s", c)
+	}
+	fmt.Fprintln(w)
+}
+
+func appOrder(m map[string]map[string]metrics.Report) []string {
+	abbrs := workloads.Abbrs()
+	out := abbrs[:0:0]
+	for _, a := range abbrs {
+		if _, ok := m[a]; ok {
+			out = append(out, a)
+		}
+	}
+	if len(out) == 0 {
+		for a := range m {
+			out = append(out, a)
+		}
+		sort.Strings(out)
+	}
+	return out
+}
+
+// Fig4 computes the per-app overlap rate (paper: average > 80 %).
+func Fig4(w io.Writer, opts Options) (avg float64) {
+	fmt.Fprintf(w, "\n== Figure 4: footprint overlap rate ==\n")
+	var rates []float64
+	for _, p := range workloads.Catalog() {
+		r := analysis.OverlapRate(TraceFor(p, opts.requests()))
+		rates = append(rates, r)
+		fmt.Fprintf(w, "%-6s %6.1f%%\n", p.Abbr, 100*r)
+	}
+	avg = metrics.Mean(rates)
+	fmt.Fprintf(w, "%-6s %6.1f%%   (paper: > 80%% on average)\n", "avg", 100*avg)
+	return avg
+}
+
+// Fig5 computes the learnable-neighbour proportion per distance threshold
+// (paper: 26.95 % at distance 4, 39.26 % at distance 64 on average).
+func Fig5(w io.Writer, opts Options) (avgAt4, avgAt64 float64) {
+	dists := []uint64{4, 8, 16, 32, 64}
+	fmt.Fprintf(w, "\n== Figure 5: learnable neighbouring pages ==\n")
+	fmt.Fprintf(w, "%-6s", "app")
+	for _, d := range dists {
+		fmt.Fprintf(w, "%9s%d", "d=", d)
+	}
+	fmt.Fprintln(w)
+	sums := make([]float64, len(dists))
+	n := 0
+	for _, p := range workloads.Catalog() {
+		props := analysis.NeighborProportion(TraceFor(p, opts.requests()), dists, 4)
+		fmt.Fprintf(w, "%-6s", p.Abbr)
+		for i, pr := range props {
+			fmt.Fprintf(w, "%9.1f%%", 100*pr)
+			sums[i] += pr
+		}
+		fmt.Fprintln(w)
+		n++
+	}
+	fmt.Fprintf(w, "%-6s", "avg")
+	for i := range dists {
+		fmt.Fprintf(w, "%9.1f%%", 100*sums[i]/float64(n))
+	}
+	fmt.Fprintf(w, "   (paper avg: 26.95%% @4, 39.26%% @64)\n")
+	return sums[0] / float64(n), sums[len(dists)-1] / float64(n)
+}
+
+// Fig7 prints the per-app SC hit rate per prefetcher and returns the
+// reports for further use.
+func Fig7(w io.Writer, opts Options) (map[string]map[string]metrics.Report, error) {
+	reps, err := Sweep(EvalPrefetchers, opts)
+	if err != nil {
+		return nil, err
+	}
+	header(w, "Figure 7: SC hit rate", EvalPrefetchers)
+	for _, a := range appOrder(reps) {
+		fmt.Fprintf(w, "%-6s", a)
+		for _, pf := range EvalPrefetchers {
+			fmt.Fprintf(w, "%11.1f%%", 100*reps[a][pf].HitRate())
+		}
+		fmt.Fprintln(w)
+	}
+	return reps, nil
+}
+
+// Fig8 prints per-app AMAT and the headline reductions (paper: Planaria
+// −24.3 % vs none, −21.3 % vs BOP, −15.1 % vs SPP; SPP −10.8 % and BOP
+// −3.3 % vs none).
+func Fig8(w io.Writer, reps map[string]map[string]metrics.Report) (vsNone, vsBOP, vsSPP float64) {
+	header(w, "Figure 8: AMAT (cycles)", EvalPrefetchers)
+	var rNone, rBOP, rSPP []float64
+	for _, a := range appOrder(reps) {
+		fmt.Fprintf(w, "%-6s", a)
+		for _, pf := range EvalPrefetchers {
+			fmt.Fprintf(w, "%12.1f", reps[a][pf].AMAT)
+		}
+		fmt.Fprintln(w)
+		pl := reps[a]["planaria"].AMAT
+		rNone = append(rNone, metrics.Reduction(reps[a]["none"].AMAT, pl))
+		rBOP = append(rBOP, metrics.Reduction(reps[a]["bop"].AMAT, pl))
+		rSPP = append(rSPP, metrics.Reduction(reps[a]["spp"].AMAT, pl))
+	}
+	vsNone, vsBOP, vsSPP = metrics.Mean(rNone), metrics.Mean(rBOP), metrics.Mean(rSPP)
+	fmt.Fprintf(w, "Planaria AMAT reduction: %.1f%% vs none, %.1f%% vs BOP, %.1f%% vs SPP\n",
+		100*vsNone, 100*vsBOP, 100*vsSPP)
+	fmt.Fprintf(w, "(paper: 24.3%%, 21.3%%, 15.1%%)\n")
+	return vsNone, vsBOP, vsSPP
+}
+
+// Fig9 runs the Planaria breakdown (SLP-only, TLP-only, full) and prints
+// each variant's share of the AMAT improvement (paper: SLP ≈ 80 % overall,
+// TLP dominant on Fort).
+func Fig9(w io.Writer, opts Options) (slpShareAvg float64, slpShare map[string]float64, err error) {
+	reps, err := Sweep([]string{"none", "planaria-slp", "planaria-tlp", "planaria"}, opts)
+	if err != nil {
+		return 0, nil, err
+	}
+	header(w, "Figure 9: breakdown (AMAT reduction share)", []string{"slp-only", "tlp-only", "slp-share"})
+	slpShare = map[string]float64{}
+	var shares []float64
+	for _, a := range appOrder(reps) {
+		base := reps[a]["none"].AMAT
+		full := metrics.Reduction(base, reps[a]["planaria"].AMAT)
+		slp := metrics.Reduction(base, reps[a]["planaria-slp"].AMAT)
+		tlp := metrics.Reduction(base, reps[a]["planaria-tlp"].AMAT)
+		share := 0.0
+		if slp+tlp > 0 {
+			share = slp / (slp + tlp)
+		}
+		slpShare[a] = share
+		shares = append(shares, share)
+		fmt.Fprintf(w, "%-6s%11.1f%%%11.1f%%%11.1f%%   (full %.1f%%)\n",
+			a, 100*slp, 100*tlp, 100*share, 100*full)
+	}
+	slpShareAvg = metrics.Mean(shares)
+	fmt.Fprintf(w, "average SLP share: %.1f%%   (paper: ~80%%)\n", 100*slpShareAvg)
+	return slpShareAvg, slpShare, nil
+}
+
+// Fig9b prints the in-system breakdown: useful prefetches attributed to
+// each sub-prefetcher inside the full Planaria configuration (a second,
+// attribution-based view of Figure 9; Fig9 uses the standalone-variant
+// method).
+func Fig9b(w io.Writer, opts Options) (slpShareAvg float64, err error) {
+	fmt.Fprintf(w, "\n== Figure 9 (in-system attribution): useful prefetches per sub-prefetcher ==\n")
+	fmt.Fprintf(w, "%-6s %12s %12s %12s\n", "app", "slp", "tlp", "slp-share")
+	var shares []float64
+	for _, p := range workloads.Catalog() {
+		rep, err := RunOne(p, "planaria", opts)
+		if err != nil {
+			return 0, err
+		}
+		slp := rep.UsefulByOrigin["slp"]
+		tlp := rep.UsefulByOrigin["tlp"]
+		share := 0.0
+		if slp+tlp > 0 {
+			share = float64(slp) / float64(slp+tlp)
+		}
+		shares = append(shares, share)
+		fmt.Fprintf(w, "%-6s %12d %12d %11.1f%%\n", p.Abbr, slp, tlp, 100*share)
+	}
+	slpShareAvg = metrics.Mean(shares)
+	fmt.Fprintf(w, "average SLP share of useful prefetches: %.1f%%   (paper: ~80%%)\n", 100*slpShareAvg)
+	return slpShareAvg, nil
+}
+
+// Fig10 prints per-app memory-system energy overhead vs no prefetcher
+// (paper: Planaria +0.5 % avg, BOP +13.5 %, SPP +9.7 %).
+func Fig10(w io.Writer, reps map[string]map[string]metrics.Report) (plAvg, bopAvg, sppAvg float64) {
+	header(w, "Figure 10: memory power overhead vs none", []string{"bop", "spp", "planaria"})
+	var pl, bo, sp []float64
+	for _, a := range appOrder(reps) {
+		base := reps[a]["none"].Energy.Total()
+		ovh := func(pf string) float64 {
+			return metrics.Improvement(base, reps[a][pf].Energy.Total())
+		}
+		fmt.Fprintf(w, "%-6s%11.1f%%%11.1f%%%11.1f%%\n", a, 100*ovh("bop"), 100*ovh("spp"), 100*ovh("planaria"))
+		bo = append(bo, ovh("bop"))
+		sp = append(sp, ovh("spp"))
+		pl = append(pl, ovh("planaria"))
+	}
+	plAvg, bopAvg, sppAvg = metrics.Mean(pl), metrics.Mean(bo), metrics.Mean(sp)
+	fmt.Fprintf(w, "average: BOP %+.1f%%, SPP %+.1f%%, Planaria %+.1f%%   (paper: +13.5%%, +9.7%%, +0.5%%)\n",
+		100*bopAvg, 100*sppAvg, 100*plAvg)
+	return plAvg, bopAvg, sppAvg
+}
+
+// TableIPC prints the estimated IPC uplift (paper: +28.9 % vs none,
+// +21.9 % vs BOP, +15.3 % vs SPP).
+func TableIPC(w io.Writer, reps map[string]map[string]metrics.Report) (vsNone, vsBOP, vsSPP float64) {
+	model := metrics.DefaultIPCModel()
+	header(w, "IPC estimate (model, see DESIGN.md)", EvalPrefetchers)
+	var uNone, uBOP, uSPP []float64
+	for _, a := range appOrder(reps) {
+		fmt.Fprintf(w, "%-6s", a)
+		for _, pf := range EvalPrefetchers {
+			fmt.Fprintf(w, "%12.3f", model.IPC(reps[a][pf].AMAT))
+		}
+		fmt.Fprintln(w)
+		pl := model.IPC(reps[a]["planaria"].AMAT)
+		uNone = append(uNone, metrics.Improvement(model.IPC(reps[a]["none"].AMAT), pl))
+		uBOP = append(uBOP, metrics.Improvement(model.IPC(reps[a]["bop"].AMAT), pl))
+		uSPP = append(uSPP, metrics.Improvement(model.IPC(reps[a]["spp"].AMAT), pl))
+	}
+	vsNone, vsBOP, vsSPP = metrics.Mean(uNone), metrics.Mean(uBOP), metrics.Mean(uSPP)
+	fmt.Fprintf(w, "Planaria IPC uplift: %.1f%% vs none, %.1f%% vs BOP, %.1f%% vs SPP\n",
+		100*vsNone, 100*vsBOP, 100*vsSPP)
+	fmt.Fprintf(w, "(paper: 28.9%%, 21.9%%, 15.3%%)\n")
+	return vsNone, vsBOP, vsSPP
+}
+
+// TableTraffic prints DRAM traffic overhead vs none (paper: SPP +15.9 %,
+// BOP +23.4 %).
+func TableTraffic(w io.Writer, reps map[string]map[string]metrics.Report) (bopAvg, sppAvg, plAvg float64) {
+	header(w, "Traffic overhead vs none", []string{"bop", "spp", "planaria"})
+	var bo, sp, pl []float64
+	for _, a := range appOrder(reps) {
+		base := float64(reps[a]["none"].Traffic())
+		ovh := func(pf string) float64 {
+			return metrics.Improvement(base, float64(reps[a][pf].Traffic()))
+		}
+		fmt.Fprintf(w, "%-6s%11.1f%%%11.1f%%%11.1f%%\n", a, 100*ovh("bop"), 100*ovh("spp"), 100*ovh("planaria"))
+		bo = append(bo, ovh("bop"))
+		sp = append(sp, ovh("spp"))
+		pl = append(pl, ovh("planaria"))
+	}
+	bopAvg, sppAvg, plAvg = metrics.Mean(bo), metrics.Mean(sp), metrics.Mean(pl)
+	fmt.Fprintf(w, "average: BOP %+.1f%%, SPP %+.1f%%, Planaria %+.1f%%   (paper: +23.4%%, +15.9%%, small)\n",
+		100*bopAvg, 100*sppAvg, 100*plAvg)
+	return bopAvg, sppAvg, plAvg
+}
+
+// TableStorage prints the prefetcher metadata budget (paper: 345.2 KB).
+func TableStorage(w io.Writer) float64 {
+	factory, _ := sim.NamedPrefetcher("planaria")
+	bits := 0
+	for ch := 0; ch < 4; ch++ {
+		bits += factory(ch).StorageBits()
+	}
+	kb := float64(bits) / 8 / 1024
+	fmt.Fprintf(w, "\n== Storage ==\nPlanaria metadata: %.1f KB across 4 channels (paper: 345.2 KB = 8.4%% of 4 MB SC)\n", kb)
+	return kb
+}
+
+// Summary strings the full evaluation; used by cmd/experiments -run all.
+func RunAll(w io.Writer, opts Options) error {
+	Fig4(w, opts)
+	Fig5(w, opts)
+	reps, err := Fig7(w, opts)
+	if err != nil {
+		return err
+	}
+	Fig8(w, reps)
+	if _, _, err := Fig9(w, opts); err != nil {
+		return err
+	}
+	if _, err := Fig9b(w, opts); err != nil {
+		return err
+	}
+	Fig10(w, reps)
+	TableIPC(w, reps)
+	TableTraffic(w, reps)
+	TableStorage(w)
+	return nil
+}
+
+// Fig2 extracts the snapshot timeline of a hot page (rendered as text).
+func Fig2(w io.Writer, opts Options) int {
+	p := workloads.Catalog()[0]
+	t := TraceFor(p, opts.requests())
+	hot := analysis.HottestPages(t, 1)
+	if len(hot) == 0 {
+		return 0
+	}
+	pts := analysis.PageTimeline(t, hot[0])
+	fmt.Fprintf(w, "\n== Figure 2: footprint snapshot of page %#x (%s) ==\n", uint64(hot[0]), p.Abbr)
+	limit := pts
+	if len(limit) > 64 {
+		limit = limit[:64]
+	}
+	for _, pt := range limit {
+		fmt.Fprintf(w, "cycle %10d  block %2d %s\n", pt.Cycle, pt.Offset, strings.Repeat(" ", pt.Offset)+"*")
+	}
+	if len(pts) > 64 {
+		fmt.Fprintf(w, "... (%d more accesses)\n", len(pts)-64)
+	}
+	return len(pts)
+}

@@ -1,0 +1,156 @@
+// Package prefetch defines the prefetcher abstraction shared by Planaria and
+// the baseline prefetchers, plus the bounded prefetch queue that feeds the
+// DRAM controllers.
+//
+// The central idea, taken from the paper's coordinator (Section 2), is that
+// learning and issuing are separate operations: Train observes every demand
+// access ("full-pattern directed" learning), while Issue is invoked
+// selectively and returns the blocks to prefetch. Monolithic prefetchers
+// simply do their bookkeeping in Train and their prediction in Issue.
+package prefetch
+
+import (
+	"repro/internal/addr"
+)
+
+// Access is one demand access as seen at the system-cache level. There is
+// deliberately no program counter: the paper's setting is the memory side,
+// where a PC is unavailable (Section 3.2).
+type Access struct {
+	Block addr.BlockNum // accessed block
+	Cycle uint64        // arrival cycle
+	Write bool          // write access
+	Miss  bool          // missed in the system cache
+}
+
+// Page returns the accessed page.
+func (a Access) Page() addr.PageNum { return a.Block.Page() }
+
+// Prefetcher is a memory-side prefetcher with decoupled learning and issuing
+// phases. Implementations are driven single-threaded per channel.
+type Prefetcher interface {
+	// Name returns a short mnemonic ("slp", "bop", ...).
+	Name() string
+	// Train observes a demand access and updates internal pattern state.
+	// Every demand access is passed to Train, hits and misses alike.
+	Train(a Access)
+	// Issue returns the blocks to prefetch in response to a demand
+	// access, or nil. The engine calls Issue after Train for the same
+	// access. Returned blocks may include already-resident targets; the
+	// engine filters them.
+	Issue(a Access) []addr.BlockNum
+	// StorageBits returns the hardware metadata budget of this
+	// prefetcher instance in bits, for the paper's storage accounting.
+	StorageBits() int
+	// Reset clears all learned state.
+	Reset()
+}
+
+// None is the no-prefetcher baseline.
+type None struct{}
+
+// Name implements Prefetcher.
+func (None) Name() string { return "none" }
+
+// Train implements Prefetcher.
+func (None) Train(Access) {}
+
+// Issue implements Prefetcher.
+func (None) Issue(Access) []addr.BlockNum { return nil }
+
+// StorageBits implements Prefetcher.
+func (None) StorageBits() int { return 0 }
+
+// Reset implements Prefetcher.
+func (None) Reset() {}
+
+// Stats counts queue-level prefetch events for one channel.
+type Stats struct {
+	Candidates uint64 // blocks proposed by the prefetcher
+	Filtered   uint64 // dropped: already resident or in flight
+	Issued     uint64 // entered the prefetch queue
+	Dropped    uint64 // queue full
+}
+
+// Queue is the bounded prefetch queue between a prefetcher and a DRAM
+// channel (Figure 1: "the generated prefetch requests are inserted into the
+// prefetch queue"). It deduplicates in-flight targets.
+type Queue struct {
+	capLimit int
+	pending  []addr.BlockNum
+	inflight map[addr.BlockNum]struct{}
+	stats    Stats
+}
+
+// NewQueue builds a queue with the given capacity (≤0 means a default of 32).
+func NewQueue(capacity int) *Queue {
+	if capacity <= 0 {
+		capacity = 32
+	}
+	return &Queue{
+		capLimit: capacity,
+		inflight: make(map[addr.BlockNum]struct{}, capacity),
+	}
+}
+
+// Stats returns a snapshot of the queue statistics.
+func (q *Queue) Stats() Stats { return q.stats }
+
+// ResetStats zeroes the counters without touching queue contents (used to
+// discard warmup).
+func (q *Queue) ResetStats() { q.stats = Stats{} }
+
+// Len returns the number of queued (not yet popped) targets.
+func (q *Queue) Len() int { return len(q.pending) }
+
+// Push offers a candidate. resident reports whether the block is already in
+// the cache (the engine passes a closure over the channel's cache slice).
+// It returns true when the candidate was queued.
+func (q *Queue) Push(b addr.BlockNum, resident bool) bool {
+	q.stats.Candidates++
+	if resident {
+		q.stats.Filtered++
+		return false
+	}
+	if _, ok := q.inflight[b]; ok {
+		q.stats.Filtered++
+		return false
+	}
+	if len(q.pending) >= q.capLimit {
+		q.stats.Dropped++
+		return false
+	}
+	q.pending = append(q.pending, b)
+	q.inflight[b] = struct{}{}
+	q.stats.Issued++
+	return true
+}
+
+// Reject records a candidate refused before reaching the queue (e.g. the
+// per-trigger insert bandwidth limit).
+func (q *Queue) Reject() {
+	q.stats.Candidates++
+	q.stats.Dropped++
+}
+
+// Pop removes and returns the oldest queued target.
+func (q *Queue) Pop() (addr.BlockNum, bool) {
+	if len(q.pending) == 0 {
+		return 0, false
+	}
+	b := q.pending[0]
+	q.pending = q.pending[1:]
+	return b, true
+}
+
+// Complete marks a previously popped target as filled into the cache,
+// releasing its in-flight slot.
+func (q *Queue) Complete(b addr.BlockNum) {
+	delete(q.inflight, b)
+}
+
+// InFlight reports whether b is queued or outstanding.
+func (q *Queue) InFlight(b addr.BlockNum) bool {
+	_, ok := q.inflight[b]
+	return ok
+}

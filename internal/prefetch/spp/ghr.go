@@ -1,0 +1,92 @@
+package spp
+
+import (
+	"repro/internal/addr"
+	"repro/internal/prefetch"
+)
+
+// ghrEntry is one in-flight cross-boundary lookahead: the signature and
+// confidence a lookahead walk had when it ran off the end of its segment,
+// plus where the walk would land in the next segment.
+type ghrEntry struct {
+	sig     uint16
+	conf    float64
+	landOff int8 // predicted first offset in the next page's segment
+	delta   int8
+	valid   bool
+}
+
+const ghrEntries = 8
+
+// GHR is the Global History Register of the MICRO'16 SPP: it lets lookahead
+// continue across page (here: channel-segment) boundaries by bootstrapping a
+// fresh page's signature from a walk that predicted entry into it. Enable
+// with Config.UseGHR (the "spp-ghr" prefetcher registration).
+type ghr struct {
+	entries [ghrEntries]ghrEntry
+	next    int
+}
+
+func (g *ghr) record(sig uint16, conf float64, landOff, delta int) {
+	g.entries[g.next] = ghrEntry{
+		sig:     sig,
+		conf:    conf,
+		landOff: int8(landOff),
+		delta:   int8(delta),
+		valid:   true,
+	}
+	g.next = (g.next + 1) % ghrEntries
+}
+
+// lookup finds a recorded walk that predicted landing at offset off, and
+// returns the signature to bootstrap the new page with.
+func (g *ghr) lookup(off int) (sig uint16, ok bool) {
+	for i := range g.entries {
+		e := &g.entries[i]
+		if e.valid && int(e.landOff) == off {
+			e.valid = false
+			return sigUpdate(e.sig, int(e.delta)), true
+		}
+	}
+	return 0, false
+}
+
+func (g *ghr) reset() {
+	*g = ghr{}
+}
+
+// trainGHR handles the ST-miss path when the GHR is enabled: a brand-new
+// page checks whether a cross-boundary walk predicted its first access and,
+// if so, inherits that walk's signature instead of starting cold.
+func (s *SPP) trainGHR(e *stEntry, p addr.PageNum, off int) {
+	sig := uint16(0)
+	if g, ok := s.g.lookup(off); ok {
+		sig = g
+	}
+	*e = stEntry{tag: uint64(p), lastOff: int8(off), sig: sig, valid: true}
+}
+
+// recordBoundary is called by Issue when a lookahead step would cross the
+// segment boundary: the walk's state is parked in the GHR so the next page
+// can pick it up.
+func (s *SPP) recordBoundary(sig uint16, conf float64, off, delta int) {
+	if s.g == nil {
+		return
+	}
+	land := off + delta
+	for land >= addr.SegmentBlocks {
+		land -= addr.SegmentBlocks
+	}
+	for land < 0 {
+		land += addr.SegmentBlocks
+	}
+	s.g.record(sig, conf, land, delta)
+}
+
+// NewGHR builds an SPP with the cross-page global history register enabled.
+func NewGHR(cfg Config) *SPP {
+	cfg.UseGHR = true
+	return New(cfg)
+}
+
+var _ = prefetch.Prefetcher(nil)

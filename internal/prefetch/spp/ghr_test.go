@@ -1,0 +1,133 @@
+package spp
+
+import (
+	"testing"
+
+	"repro/internal/addr"
+	"repro/internal/prefetch"
+)
+
+// trainCrossPageStream walks a fixed-stride pattern through consecutive
+// pages on channel 0, so every lookahead walk eventually crosses a segment
+// boundary.
+func trainCrossPageStream(s *SPP, basePage addr.PageNum, pages, stride int) {
+	off := 0
+	for p := 0; p < pages; {
+		a := access(basePage+addr.PageNum(p), 0, off, true)
+		s.Train(a)
+		s.Issue(a)
+		off += stride
+		if off >= addr.SegmentBlocks {
+			off -= addr.SegmentBlocks
+			p++
+		}
+	}
+}
+
+func TestGHRBootstrapsNewPage(t *testing.T) {
+	// Two concurrent behaviours: a dominant stride-1 stream (so the cold
+	// sig-0 pattern entry predicts +1) and a rarer stride-5 stream. A
+	// fresh page continuing the stride-5 stream is mispredicted by plain
+	// SPP (cold signature ⇒ +1) but correctly continued by the GHR
+	// bootstrap (inherited walk signature ⇒ +5).
+	build := func(useGHR bool) *SPP {
+		var s *SPP
+		if useGHR {
+			s = NewGHR(DefaultConfig())
+		} else {
+			s = New(DefaultConfig())
+		}
+		trainCrossPageStream(s, 4000, 12, 5) // rare, trained first
+		trainCrossPageStream(s, 100, 60, 1)  // dominant, trained last so
+		// the cold-signature pattern entry ends up favouring +1
+		return s
+	}
+
+	// Replay the stride-5 stream up to a boundary crossing so the GHR
+	// holds a fresh walk, then touch the landing page.
+	probe := func(s *SPP) []addr.BlockNum {
+		off := 0
+		page := addr.PageNum(7000)
+		for {
+			a := access(page, 0, off, true)
+			s.Train(a)
+			s.Issue(a)
+			off += 5
+			if off >= addr.SegmentBlocks {
+				off -= addr.SegmentBlocks
+				page++
+				break
+			}
+		}
+		a := access(page, 0, off, true)
+		s.Train(a)
+		return s.Issue(a)
+	}
+
+	gotWith := probe(build(true))
+	gotWithout := probe(build(false))
+
+	// The landing offset of the stride-5 walk is deterministic: last
+	// offset 15, +5 → 4 on the next page. The *first* prediction reveals
+	// the signature in play: +5 under the inherited walk signature, +1
+	// under the cold signature dominated by the stride-1 stream.
+	const trigger = 4
+	if len(gotWith) == 0 || gotWith[0].SegOffset() != trigger+5 {
+		t.Fatalf("GHR-SPP did not continue the stride-5 walk: targets %v", gotWith)
+	}
+	if len(gotWithout) == 0 || gotWithout[0].SegOffset() != trigger+1 {
+		t.Fatalf("plain SPP's cold prediction should be +1: %v", gotWithout)
+	}
+}
+
+func TestGHRName(t *testing.T) {
+	if NewGHR(DefaultConfig()).Name() != "spp-ghr" {
+		t.Fatal("name")
+	}
+	if New(DefaultConfig()).Name() != "spp" {
+		t.Fatal("plain name changed")
+	}
+}
+
+func TestGHRRecycleAndReset(t *testing.T) {
+	g := &ghr{}
+	for i := 0; i < ghrEntries+3; i++ {
+		g.record(uint16(i), 0.5, i%addr.SegmentBlocks, 1)
+	}
+	// Entries wrapped; the oldest were overwritten but lookups still work
+	// on live ones.
+	if _, ok := g.lookup((ghrEntries + 2) % addr.SegmentBlocks); !ok {
+		t.Fatal("recent entry lost")
+	}
+	g.reset()
+	for off := 0; off < addr.SegmentBlocks; off++ {
+		if _, ok := g.lookup(off); ok {
+			t.Fatal("entry survived reset")
+		}
+	}
+}
+
+func TestGHRLookupConsumesEntry(t *testing.T) {
+	g := &ghr{}
+	g.record(7, 0.5, 3, 1)
+	if _, ok := g.lookup(3); !ok {
+		t.Fatal("first lookup failed")
+	}
+	if _, ok := g.lookup(3); ok {
+		t.Fatal("entry not consumed")
+	}
+}
+
+func TestGHRResetViaPrefetcher(t *testing.T) {
+	s := NewGHR(DefaultConfig())
+	trainCrossPageStream(s, 100, 10, 1)
+	s.Reset()
+	p := addr.PageNum(900)
+	a := access(p, 0, 0, true)
+	s.Train(a)
+	if got := s.Issue(a); len(got) != 0 {
+		t.Fatalf("issued %v after Reset", got)
+	}
+}
+
+var _ prefetch.Prefetcher = (*SPP)(nil)

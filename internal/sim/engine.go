@@ -1,0 +1,545 @@
+// Package sim ties the substrates together into the paper's evaluation
+// vehicle: a trace-driven memory-system simulator in the mould of the
+// modified DRAMSim2 used in Section 5.
+//
+// The memory side is organised per DRAM channel, as in the paper: each
+// channel owns a slice of the system cache, its own prefetcher instance and
+// its own LPDDR4 controller. Demand requests flow trace → SC slice →
+// (on miss) DRAM; prefetchers observe every demand access (learning) and
+// emit prefetch requests (issuing) that fill the SC and consume DRAM
+// bandwidth at lower scheduling priority.
+//
+// The simulator is functionally eager and timing-lazy: cache state updates
+// at trace order while DRAM latency, bandwidth and energy are accounted by
+// the event-driven controller. This is the standard trace-driven
+// "functional + timing" split; see DESIGN.md.
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/addr"
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/dram"
+	"repro/internal/metrics"
+	"repro/internal/power"
+	"repro/internal/prefetch"
+	"repro/internal/prefetch/bop"
+	"repro/internal/prefetch/spp"
+	"repro/internal/trace"
+)
+
+// Config parameterises one simulation run.
+type Config struct {
+	Cache        cache.Config // per-channel SC slice
+	DRAM         dram.Config
+	SCHitLatency uint64 // cycles for an SC hit (tag + data)
+	Power        power.Params
+
+	// NewPrefetcher builds the per-channel prefetcher. The engine calls
+	// it once per channel.
+	NewPrefetcher func(channel int) prefetch.Prefetcher
+
+	// MaxPerTrigger clamps the number of prefetches accepted per demand
+	// trigger (hardware prefetch queue insert bandwidth).
+	MaxPerTrigger int
+	// QueueCapacity bounds each channel's prefetch queue.
+	QueueCapacity int
+	// PrefetchLatency is the delay before a prefetched block becomes
+	// usable in the SC (queue + DRAM service). A demand arriving earlier
+	// sees a "late prefetch": it waits out the remaining time instead of
+	// paying a full miss. This is the timeliness model — without it,
+	// shallow delta prefetchers would enjoy zero-lead-time coverage they
+	// cannot have in hardware.
+	PrefetchLatency uint64
+	// ThrottleOutstanding caps the number of in-flight prefetches per
+	// channel; candidates beyond the cap are rejected. Zero disables the
+	// throttle. This is the utilization-aware extension: it bounds the
+	// DRAM bandwidth any prefetcher can consume, a natural hardening for
+	// the paper's power-constrained setting.
+	ThrottleOutstanding int
+}
+
+// DefaultConfig returns the paper's system: 4 × 1 MB 16-way SC slices,
+// Table 1 LPDDR4 timing, 30-cycle SC hit latency.
+func DefaultConfig() Config {
+	return Config{
+		Cache:           cache.DefaultConfig(),
+		DRAM:            dram.DefaultConfig(),
+		SCHitLatency:    30,
+		NewPrefetcher:   func(int) prefetch.Prefetcher { return prefetch.None{} },
+		MaxPerTrigger:   16,
+		QueueCapacity:   64,
+		PrefetchLatency: 110,
+	}
+}
+
+// NamedPrefetcher returns a prefetcher factory for the given name:
+// "none", "nextline", "stride", "bop", "spp", "planaria", "planaria-slp",
+// "planaria-tlp", "planaria-serial", "planaria-parallel".
+func NamedPrefetcher(name string) (func(int) prefetch.Prefetcher, error) {
+	switch name {
+	case "none":
+		return func(int) prefetch.Prefetcher { return prefetch.None{} }, nil
+	case "nextline":
+		return func(int) prefetch.Prefetcher { return prefetch.NewNextLine(2) }, nil
+	case "stride":
+		return func(int) prefetch.Prefetcher { return prefetch.NewStride(256, 2) }, nil
+	case "bop":
+		return func(int) prefetch.Prefetcher { return bop.New(bop.DefaultConfig()) }, nil
+	case "spp":
+		return func(int) prefetch.Prefetcher { return spp.New(spp.DefaultConfig()) }, nil
+	case "spp-ghr":
+		return func(int) prefetch.Prefetcher { return spp.NewGHR(spp.DefaultConfig()) }, nil
+	case "planaria":
+		return func(int) prefetch.Prefetcher { return core.New(core.DefaultConfig()) }, nil
+	case "planaria-slp":
+		cfg := core.DefaultConfig()
+		cfg.DisableTLP = true
+		return func(int) prefetch.Prefetcher { return core.New(cfg) }, nil
+	case "planaria-tlp":
+		cfg := core.DefaultConfig()
+		cfg.DisableSLP = true
+		return func(int) prefetch.Prefetcher { return core.New(cfg) }, nil
+	case "planaria-serial":
+		cfg := core.DefaultConfig()
+		cfg.Mode = core.Serial
+		return func(int) prefetch.Prefetcher { return core.New(cfg) }, nil
+	case "planaria-parallel":
+		cfg := core.DefaultConfig()
+		cfg.Mode = core.Parallel
+		return func(int) prefetch.Prefetcher { return core.New(cfg) }, nil
+	}
+	return nil, fmt.Errorf("sim: unknown prefetcher %q", name)
+}
+
+// PrefetcherNames lists the names accepted by NamedPrefetcher.
+func PrefetcherNames() []string {
+	return []string{
+		"none", "nextline", "stride", "bop", "spp", "spp-ghr",
+		"planaria", "planaria-slp", "planaria-tlp",
+		"planaria-serial", "planaria-parallel",
+	}
+}
+
+type channelState struct {
+	cache *cache.Cache
+	dram  *dram.Controller
+	pf    prefetch.Prefetcher
+	queue *prefetch.Queue
+
+	// In-flight prefetches, FIFO by readiness (constant latency).
+	pending     []pendingFill
+	pendingSet  map[addr.BlockNum]int // block → index of live entry (offset by pendingBase)
+	pendingBase int                   // count of already-dequeued entries
+
+	metaEvents uint64 // prefetcher table touches for the power model
+	scEvents   uint64 // SC lookups + fills
+
+	hitLatency   uint64 // accumulated demand-read hit latency
+	lateLatency  uint64 // accumulated latency of late-prefetch read hits
+	lateHits     uint64 // demand reads served by an in-flight prefetch
+	demandReads  uint64
+	demandWrites uint64
+	lastCycle    uint64
+
+	// Per-origin useful-prefetch attribution: origin of resident,
+	// not-yet-used prefetched lines, and the per-origin useful counts.
+	lineOrigin   map[addr.BlockNum]string
+	usefulOrigin map[string]uint64
+
+	statsFrom uint64 // cycle of the last ResetStats (wall-clock baseline)
+}
+
+type pendingFill struct {
+	block    addr.BlockNum
+	ready    uint64
+	usedLate bool   // a demand already waited on this fill
+	dead     bool   // superseded (e.g. demand write filled the line first)
+	origin   string // issuing sub-prefetcher ("" when unknown)
+}
+
+// originTracker is implemented by composite prefetchers (Planaria) that can
+// say which sub-prefetcher answered the most recent Issue call.
+type originTracker interface {
+	Origin() string
+}
+
+// Engine is one simulation instance. Not safe for concurrent use.
+type Engine struct {
+	cfg      Config
+	channels [addr.Channels]*channelState
+	pfName   string
+}
+
+// New builds an engine; it panics on an invalid configuration
+// (construction-time programming error).
+func New(cfg Config) *Engine {
+	if cfg.NewPrefetcher == nil {
+		cfg.NewPrefetcher = func(int) prefetch.Prefetcher { return prefetch.None{} }
+	}
+	if cfg.SCHitLatency == 0 {
+		cfg.SCHitLatency = 30
+	}
+	if cfg.MaxPerTrigger <= 0 {
+		cfg.MaxPerTrigger = 16
+	}
+	if cfg.QueueCapacity <= 0 {
+		cfg.QueueCapacity = 64
+	}
+	if cfg.Cache.SizeBytes == 0 {
+		cfg.Cache = cache.DefaultConfig()
+	}
+	if cfg.DRAM.Timing.TRAS == 0 {
+		cfg.DRAM = dram.DefaultConfig()
+	}
+	e := &Engine{cfg: cfg}
+	for ch := 0; ch < addr.Channels; ch++ {
+		ccfg := cfg.Cache
+		ccfg.Seed += int64(ch)
+		pf := cfg.NewPrefetcher(ch)
+		e.channels[ch] = &channelState{
+			cache:        cache.New(ccfg),
+			dram:         dram.NewController(cfg.DRAM),
+			pf:           pf,
+			queue:        prefetch.NewQueue(cfg.QueueCapacity),
+			pendingSet:   make(map[addr.BlockNum]int),
+			lineOrigin:   make(map[addr.BlockNum]string),
+			usefulOrigin: make(map[string]uint64),
+		}
+		if ch == 0 {
+			e.pfName = pf.Name()
+		}
+	}
+	return e
+}
+
+// PrefetcherName returns the name of the configured prefetcher.
+func (e *Engine) PrefetcherName() string { return e.pfName }
+
+// Channel exposes a channel's prefetcher (for breakdown analyses).
+func (e *Engine) Channel(ch int) prefetch.Prefetcher { return e.channels[ch].pf }
+
+// DRAM exposes a channel's memory controller (debugging and tooling).
+func (e *Engine) DRAM(ch int) *dram.Controller { return e.channels[ch].dram }
+
+// ResetStats discards all statistics gathered so far while preserving the
+// functional and timing state of every component — the standard warmup
+// mechanism: run the first part of a trace, call ResetStats, then measure
+// the rest against warm caches and trained prefetchers.
+func (e *Engine) ResetStats() {
+	for _, cs := range e.channels {
+		cs.cache.ResetStats()
+		cs.dram.ResetStats()
+		cs.queue.ResetStats()
+		cs.metaEvents = 0
+		cs.scEvents = 0
+		cs.hitLatency = 0
+		cs.lateLatency = 0
+		cs.lateHits = 0
+		cs.demandReads = 0
+		cs.demandWrites = 0
+		cs.usefulOrigin = make(map[string]uint64)
+		cs.statsFrom = cs.lastCycle
+	}
+}
+
+func (cs *channelState) getReq() *dram.Request { return &dram.Request{} }
+
+// noteEvict clears the origin record of an evicted, never-used prefetched
+// line.
+func (cs *channelState) noteEvict(ev cache.EvictInfo) {
+	if ev.Valid && ev.Prefetched {
+		delete(cs.lineOrigin, ev.Block)
+	}
+}
+
+// commitPending lands every in-flight prefetch whose latency has elapsed.
+func (e *Engine) commitPending(cs *channelState, now uint64) error {
+	for len(cs.pending) > 0 && cs.pending[0].ready <= now {
+		p := cs.pending[0]
+		cs.pending = cs.pending[1:]
+		cs.pendingBase++
+		delete(cs.pendingSet, p.block)
+		// A fill whose demand already waited on it arrives "pre-used":
+		// the usefulness credit was given as a late hit.
+		ev := cs.cache.Fill(p.block, !p.usedLate, false)
+		cs.noteEvict(ev)
+		if err := e.writeback(cs, ev, now); err != nil {
+			return err
+		}
+		if p.origin != "" {
+			if p.usedLate {
+				cs.usefulOrigin[p.origin]++
+			} else {
+				cs.lineOrigin[p.block] = p.origin
+			}
+		}
+		cs.queue.Complete(p.block)
+		cs.scEvents++
+	}
+	return nil
+}
+
+// latePending returns the live in-flight prefetch entry for blk, if any.
+func (cs *channelState) latePending(blk addr.BlockNum) *pendingFill {
+	if i, ok := cs.pendingSet[blk]; ok {
+		if pos := i - cs.pendingBase; pos >= 0 && pos < len(cs.pending) {
+			return &cs.pending[pos]
+		}
+	}
+	return nil
+}
+
+// Step processes one trace record.
+func (e *Engine) Step(rec trace.Record) error {
+	blk := rec.Block()
+	cs := e.channels[blk.Channel()]
+	if rec.Cycle > cs.lastCycle {
+		cs.lastCycle = rec.Cycle
+	}
+	if err := e.commitPending(cs, rec.Cycle); err != nil {
+		return err
+	}
+	cs.scEvents++
+
+	hit, firstUse := cs.cache.AccessInfo(blk, rec.Write)
+	if firstUse {
+		if origin, ok := cs.lineOrigin[blk]; ok {
+			cs.usefulOrigin[origin]++
+			delete(cs.lineOrigin, blk)
+		}
+	}
+	var late *pendingFill
+	if !hit {
+		late = cs.latePending(blk)
+	}
+	if rec.Write {
+		cs.demandWrites++
+	} else {
+		cs.demandReads++
+		switch {
+		case hit:
+			cs.hitLatency += e.cfg.SCHitLatency
+		case late != nil:
+			// Late prefetch: wait out the remaining fill time.
+			cs.lateHits++
+			cs.lateLatency += e.cfg.SCHitLatency + (late.ready - rec.Cycle)
+		}
+	}
+
+	a := prefetch.Access{Block: blk, Cycle: rec.Cycle, Write: rec.Write, Miss: !hit}
+	cs.pf.Train(a)
+	cs.metaEvents++
+
+	if !hit && late == nil {
+		// Demand fill from DRAM (write misses are write-allocate
+		// fetches: same priority, excluded from read AMAT).
+		req := cs.getReq()
+		req.Block = blk
+		req.Write = false
+		req.WriteAlloc = rec.Write
+		req.Arrival = rec.Cycle + e.cfg.SCHitLatency
+		if err := cs.dram.Enqueue(req); err != nil {
+			return err
+		}
+		ev := cs.cache.Fill(blk, false, rec.Write)
+		cs.noteEvict(ev)
+		if err := e.writeback(cs, ev, rec.Cycle); err != nil {
+			return err
+		}
+		cs.scEvents++
+	}
+	if late != nil {
+		late.usedLate = true
+		if rec.Write {
+			// The write needs the line now; the in-flight fill merges
+			// into it harmlessly when it lands.
+			ev := cs.cache.Fill(blk, false, true)
+			cs.noteEvict(ev)
+			if err := e.writeback(cs, ev, rec.Cycle); err != nil {
+				return err
+			}
+			cs.scEvents++
+		}
+	}
+
+	// Issuing phase.
+	cands := cs.pf.Issue(a)
+	origin := ""
+	if ot, ok := cs.pf.(originTracker); ok && len(cands) > 0 {
+		origin = ot.Origin()
+	}
+	if len(cands) > 0 {
+		cs.metaEvents++
+	}
+	issued := 0
+	for _, c := range cands {
+		if c.Channel() != blk.Channel() {
+			// A prefetcher instance may only target its own channel;
+			// drop foreign targets (defends against buggy custom
+			// prefetchers rather than silently corrupting a channel).
+			cs.queue.Reject()
+			continue
+		}
+		if issued >= e.cfg.MaxPerTrigger {
+			cs.queue.Reject() // insert bandwidth exhausted this trigger
+			continue
+		}
+		if n := e.cfg.ThrottleOutstanding; n > 0 && len(cs.pending)+issued >= n {
+			cs.queue.Reject() // outstanding-prefetch throttle engaged
+			continue
+		}
+		if !cs.queue.Push(c, cs.cache.Contains(c)) {
+			continue
+		}
+		issued++
+	}
+	// Drain the queue into DRAM; fills land PrefetchLatency later.
+	for {
+		c, ok := cs.queue.Pop()
+		if !ok {
+			break
+		}
+		req := cs.getReq()
+		req.Block = c
+		req.Prefetch = true
+		req.Arrival = rec.Cycle + e.cfg.SCHitLatency
+		if err := cs.dram.Enqueue(req); err != nil {
+			return err
+		}
+		cs.pendingSet[c] = cs.pendingBase + len(cs.pending)
+		cs.pending = append(cs.pending, pendingFill{
+			block:  c,
+			ready:  rec.Cycle + e.cfg.PrefetchLatency,
+			origin: origin,
+		})
+	}
+	return nil
+}
+
+// writeback enqueues the dirty victim of a fill, if any.
+func (e *Engine) writeback(cs *channelState, ev cache.EvictInfo, cycle uint64) error {
+	if !ev.Valid || !ev.Dirty {
+		return nil
+	}
+	req := cs.getReq()
+	req.Block = ev.Block
+	req.Write = true
+	req.Arrival = cycle + e.cfg.SCHitLatency
+	return cs.dram.Enqueue(req)
+}
+
+// Run processes a whole trace and returns the aggregated report.
+func (e *Engine) Run(t trace.Trace, workload string) (metrics.Report, error) {
+	for _, rec := range t {
+		if err := e.Step(rec); err != nil {
+			return metrics.Report{}, err
+		}
+	}
+	return e.Finish(workload), nil
+}
+
+// Finish flushes the DRAM controllers and builds the report.
+func (e *Engine) Finish(workload string) metrics.Report {
+	rep := metrics.Report{
+		Workload:       workload,
+		Prefetcher:     e.pfName,
+		SCHitLatency:   e.cfg.SCHitLatency,
+		UsefulByOrigin: make(map[string]uint64),
+	}
+	pm := power.New(e.cfg.Power)
+	var totalReadLat, cycles uint64
+	for _, cs := range e.channels {
+		// Land any still-in-flight prefetches so accounting is complete.
+		_ = e.commitPending(cs, ^uint64(0))
+		cs.dram.Flush()
+		cstats := cs.cache.Stats()
+		dstats := cs.dram.Stats()
+		qstats := cs.queue.Stats()
+
+		rep.DemandReads += cs.demandReads
+		rep.DemandWrites += cs.demandWrites
+		addCache(&rep.Cache, cstats)
+		addDRAM(&rep.DRAM, dstats)
+		addPF(&rep.Prefetch, qstats)
+		rep.StorageBits += cs.pf.StorageBits()
+
+		// Read AMAT components: hit latency for read hits, late-
+		// prefetch wait time, and lookup latency plus DRAM service for
+		// true read misses (one demand DRAM read per such miss).
+		totalReadLat += cs.hitLatency + cs.lateLatency +
+			dstats.DemandReads*e.cfg.SCHitLatency +
+			dstats.TotalDemandReadLat
+		rep.LatePrefetchHits += cs.lateHits
+		for origin, n := range cs.usefulOrigin {
+			rep.UsefulByOrigin[origin] += n
+		}
+		end := cs.lastCycle
+		if dstats.LastDone > end {
+			end = dstats.LastDone
+		}
+		span := uint64(0)
+		if end > cs.statsFrom {
+			span = end - cs.statsFrom
+		}
+		if span > cycles {
+			cycles = span
+		}
+	}
+	rep.Cycles = cycles
+	for _, cs := range e.channels {
+		rep.Energy = power.Add(rep.Energy,
+			pm.Account(cs.dram.Stats(), cs.scEvents, cs.metaEvents,
+				uint64(cs.pf.StorageBits()), cycles))
+	}
+	if rep.DemandReads > 0 {
+		rep.AMAT = float64(totalReadLat) / float64(rep.DemandReads)
+	}
+	return rep
+}
+
+func addCache(dst *cache.Stats, s cache.Stats) {
+	dst.DemandAccesses += s.DemandAccesses
+	dst.DemandHits += s.DemandHits
+	dst.DemandMisses += s.DemandMisses
+	dst.PrefetchFills += s.PrefetchFills
+	dst.DemandFills += s.DemandFills
+	dst.UsefulPrefetches += s.UsefulPrefetches
+	dst.WastedPrefetches += s.WastedPrefetches
+	dst.Writebacks += s.Writebacks
+	dst.Evictions += s.Evictions
+	dst.PollutionEvicts += s.PollutionEvicts
+}
+
+func addDRAM(dst *dram.Stats, s dram.Stats) {
+	dst.Reads += s.Reads
+	dst.Writes += s.Writes
+	dst.Activates += s.Activates
+	dst.Precharges += s.Precharges
+	dst.Refreshes += s.Refreshes
+	dst.RowHits += s.RowHits
+	dst.RowMisses += s.RowMisses
+	dst.RowEmpty += s.RowEmpty
+	dst.DemandReads += s.DemandReads
+	dst.PrefReads += s.PrefReads
+	dst.AllocReads += s.AllocReads
+	dst.TotalDemandReadLat += s.TotalDemandReadLat
+	dst.BusBusy += s.BusBusy
+	dst.PowerDownCycles += s.PowerDownCycles
+	dst.PowerDownEntries += s.PowerDownEntries
+	for i := range s.LatencyHist {
+		dst.LatencyHist[i] += s.LatencyHist[i]
+	}
+	if s.LastDone > dst.LastDone {
+		dst.LastDone = s.LastDone
+	}
+}
+
+func addPF(dst *prefetch.Stats, s prefetch.Stats) {
+	dst.Candidates += s.Candidates
+	dst.Filtered += s.Filtered
+	dst.Issued += s.Issued
+	dst.Dropped += s.Dropped
+}

@@ -1,0 +1,94 @@
+package trace
+
+import "repro/internal/addr"
+
+// FilterDevice returns the sub-trace issued by device d, preserving order.
+func (t Trace) FilterDevice(d Device) Trace {
+	var out Trace
+	for _, r := range t {
+		if r.Device == d {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// FilterPages returns the sub-trace touching pages for which keep returns
+// true, preserving order.
+func (t Trace) FilterPages(keep func(addr.PageNum) bool) Trace {
+	var out Trace
+	for _, r := range t {
+		if keep(r.Page()) {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Window returns the records with from ≤ Cycle < to. The trace must be
+// cycle-sorted (binary search on both boundaries).
+func (t Trace) Window(from, to uint64) Trace {
+	lo := searchCycle(t, from)
+	hi := searchCycle(t, to)
+	return t[lo:hi]
+}
+
+// searchCycle returns the first index with Cycle >= c.
+func searchCycle(t Trace, c uint64) int {
+	lo, hi := 0, len(t)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if t[mid].Cycle < c {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// SplitChannels partitions the trace into the four per-channel streams the
+// memory-side hardware sees, preserving order within each channel.
+func (t Trace) SplitChannels() [addr.Channels]Trace {
+	var out [addr.Channels]Trace
+	for _, r := range t {
+		ch := r.Block().Channel()
+		out[ch] = append(out[ch], r)
+	}
+	return out
+}
+
+// Concat appends b after a on the time axis: b's cycles are shifted so its
+// first record lands gap cycles after a's last. Used to build multi-phase
+// traces from independently generated segments.
+func Concat(a, b Trace, gap uint64) Trace {
+	out := make(Trace, 0, len(a)+len(b))
+	out = append(out, a...)
+	if len(b) == 0 {
+		return out
+	}
+	shift := gap
+	if len(a) > 0 {
+		shift += a[len(a)-1].Cycle
+	}
+	base := b[0].Cycle
+	for _, r := range b {
+		r.Cycle = r.Cycle - base + shift
+		out = append(out, r)
+	}
+	return out
+}
+
+// ReadShare returns the fraction of read records.
+func (t Trace) ReadShare() float64 {
+	if len(t) == 0 {
+		return 0
+	}
+	reads := 0
+	for _, r := range t {
+		if !r.Write {
+			reads++
+		}
+	}
+	return float64(reads) / float64(len(t))
+}

@@ -1,0 +1,136 @@
+package trace
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/addr"
+)
+
+func filterFixture() Trace {
+	return Trace{
+		{Addr: 0x1000, Cycle: 10, Device: CPU0},
+		{Addr: 0x1400, Cycle: 20, Device: GPU, Write: true},
+		{Addr: 0x2000, Cycle: 30, Device: CPU0},
+		{Addr: 0x2800, Cycle: 40, Device: DSP},
+		{Addr: 0x3c00, Cycle: 50, Device: GPU},
+	}
+}
+
+func TestFilterDevice(t *testing.T) {
+	got := filterFixture().FilterDevice(GPU)
+	if len(got) != 2 || got[0].Cycle != 20 || got[1].Cycle != 50 {
+		t.Fatalf("FilterDevice = %v", got)
+	}
+	if got := filterFixture().FilterDevice(NPU); len(got) != 0 {
+		t.Fatalf("absent device returned %v", got)
+	}
+}
+
+func TestFilterPages(t *testing.T) {
+	got := filterFixture().FilterPages(func(p addr.PageNum) bool { return p == 2 })
+	if len(got) != 2 {
+		t.Fatalf("FilterPages = %v", got)
+	}
+	for _, r := range got {
+		if r.Page() != 2 {
+			t.Fatalf("wrong page %v", r.Page())
+		}
+	}
+}
+
+func TestWindow(t *testing.T) {
+	tr := filterFixture()
+	got := tr.Window(20, 50)
+	if len(got) != 3 || got[0].Cycle != 20 || got[2].Cycle != 40 {
+		t.Fatalf("Window = %v", got)
+	}
+	if len(tr.Window(0, 10)) != 0 {
+		t.Fatal("empty window not empty")
+	}
+	if len(tr.Window(10, 11)) != 1 {
+		t.Fatal("single-record window")
+	}
+	if got := tr.Window(0, 1<<60); len(got) != len(tr) {
+		t.Fatal("full window")
+	}
+}
+
+func TestWindowProperty(t *testing.T) {
+	f := func(cycles []uint16, a, b uint16) bool {
+		tr := make(Trace, len(cycles))
+		for i, c := range cycles {
+			tr[i] = Record{Cycle: uint64(c)}
+		}
+		tr.Sort()
+		lo, hi := uint64(a), uint64(b)
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		w := tr.Window(lo, hi)
+		for _, r := range w {
+			if r.Cycle < lo || r.Cycle >= hi {
+				return false
+			}
+		}
+		// Count check: every qualifying record is present.
+		n := 0
+		for _, r := range tr {
+			if r.Cycle >= lo && r.Cycle < hi {
+				n++
+			}
+		}
+		return n == len(w)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSplitChannels(t *testing.T) {
+	tr := filterFixture()
+	chs := tr.SplitChannels()
+	total := 0
+	for ch, sub := range chs {
+		total += len(sub)
+		for _, r := range sub {
+			if r.Block().Channel() != ch {
+				t.Fatalf("record %v in channel %d stream", r, ch)
+			}
+		}
+		if !sub.Sorted() {
+			t.Fatalf("channel %d stream unsorted", ch)
+		}
+	}
+	if total != len(tr) {
+		t.Fatalf("split lost records: %d of %d", total, len(tr))
+	}
+}
+
+func TestConcat(t *testing.T) {
+	a := Trace{{Cycle: 10}, {Cycle: 100}}
+	b := Trace{{Cycle: 5000}, {Cycle: 5100}}
+	got := Concat(a, b, 50)
+	if len(got) != 4 || !got.Sorted() {
+		t.Fatalf("Concat = %v", got)
+	}
+	if got[2].Cycle != 150 || got[3].Cycle != 250 {
+		t.Fatalf("shifted cycles wrong: %v", got)
+	}
+	// Degenerate inputs.
+	if got := Concat(nil, b, 7); got[0].Cycle != 7 {
+		t.Fatalf("empty-a Concat = %v", got)
+	}
+	if got := Concat(a, nil, 7); len(got) != 2 {
+		t.Fatalf("empty-b Concat = %v", got)
+	}
+}
+
+func TestReadShare(t *testing.T) {
+	if got := filterFixture().ReadShare(); got != 0.8 {
+		t.Fatalf("ReadShare = %v", got)
+	}
+	if got := (Trace{}).ReadShare(); got != 0 {
+		t.Fatalf("empty ReadShare = %v", got)
+	}
+}

@@ -1,0 +1,61 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadText exercises the text-trace parser: it must never panic, and
+// anything it accepts must round-trip through WriteText.
+func FuzzReadText(f *testing.F) {
+	f.Add("10 R 0x1000 cpu0\n")
+	f.Add("# comment\n\n5 W 0x40 gpu\n")
+	f.Add("bogus line\n")
+	f.Add("10 R 0x1000\n")
+	f.Add("99999999999999999999 R 0x0 dsp\n")
+	f.Add("1 r 64 isp\n2 w 128 npu\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		tr, err := ReadText(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteText(&buf, tr); err != nil {
+			t.Fatalf("WriteText failed on accepted trace: %v", err)
+		}
+		tr2, err := ReadText(&buf)
+		if err != nil {
+			t.Fatalf("round trip rejected: %v", err)
+		}
+		if len(tr2) != len(tr) {
+			t.Fatalf("round trip changed length: %d vs %d", len(tr2), len(tr))
+		}
+		for i := range tr {
+			if tr[i] != tr2[i] {
+				t.Fatalf("record %d changed: %v vs %v", i, tr[i], tr2[i])
+			}
+		}
+	})
+}
+
+// FuzzReadBinary: the binary reader must never panic on arbitrary bytes.
+func FuzzReadBinary(f *testing.F) {
+	var good bytes.Buffer
+	_ = WriteAll(&good, Trace{{Addr: 0x1000, Cycle: 5, Device: GPU}})
+	f.Add(good.Bytes())
+	f.Add([]byte("PLTR"))
+	f.Add([]byte("PLTR\x01\x00\x00\x00short"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, in []byte) {
+		tr, err := ReadAllFrom(bytes.NewReader(in))
+		if err != nil {
+			return
+		}
+		// Accepted traces re-encode cleanly.
+		var buf bytes.Buffer
+		if err := WriteAll(&buf, tr); err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+	})
+}

@@ -1,0 +1,102 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/addr"
+)
+
+// Stats summarises a trace: volume, read/write mix, device mix, page
+// footprint and arrival-rate figures. It is what `cmd/tracegen -stats` and
+// the workload calibration tests inspect.
+type Stats struct {
+	Records     int
+	Reads       int
+	Writes      int
+	FirstCycle  uint64
+	LastCycle   uint64
+	Pages       int            // distinct pages touched
+	Blocks      int            // distinct blocks touched
+	PerDevice   map[Device]int // record count per device
+	MeanGap     float64        // mean inter-arrival gap in cycles
+	BlocksPage  float64        // mean distinct blocks touched per page
+	ChannelLoad [addr.Channels]int
+}
+
+// Analyze computes Stats over t.
+func Analyze(t Trace) Stats {
+	s := Stats{PerDevice: make(map[Device]int)}
+	if len(t) == 0 {
+		return s
+	}
+	s.Records = len(t)
+	s.FirstCycle = t[0].Cycle
+	s.LastCycle = t[0].Cycle
+	pages := make(map[addr.PageNum]map[int]struct{})
+	for _, r := range t {
+		if r.Write {
+			s.Writes++
+		} else {
+			s.Reads++
+		}
+		if r.Cycle < s.FirstCycle {
+			s.FirstCycle = r.Cycle
+		}
+		if r.Cycle > s.LastCycle {
+			s.LastCycle = r.Cycle
+		}
+		s.PerDevice[r.Device]++
+		p := r.Page()
+		m := pages[p]
+		if m == nil {
+			m = make(map[int]struct{})
+			pages[p] = m
+		}
+		m[r.Addr.Offset()] = struct{}{}
+		s.ChannelLoad[r.Block().Channel()]++
+	}
+	s.Pages = len(pages)
+	for _, m := range pages {
+		s.Blocks += len(m)
+	}
+	if s.Pages > 0 {
+		s.BlocksPage = float64(s.Blocks) / float64(s.Pages)
+	}
+	if s.Records > 1 && s.LastCycle > s.FirstCycle {
+		s.MeanGap = float64(s.LastCycle-s.FirstCycle) / float64(s.Records-1)
+	}
+	return s
+}
+
+// String renders a multi-line human-readable summary.
+func (s Stats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "records: %d (%.1f%% reads)\n", s.Records, pct(s.Reads, s.Records))
+	fmt.Fprintf(&b, "cycles: %d .. %d (mean gap %.1f)\n", s.FirstCycle, s.LastCycle, s.MeanGap)
+	fmt.Fprintf(&b, "pages: %d, distinct blocks: %d (%.1f blocks/page)\n", s.Pages, s.Blocks, s.BlocksPage)
+	fmt.Fprintf(&b, "channel load:")
+	for ch, n := range s.ChannelLoad {
+		fmt.Fprintf(&b, " ch%d=%.1f%%", ch, pct(n, s.Records))
+	}
+	b.WriteByte('\n')
+	devs := make([]Device, 0, len(s.PerDevice))
+	for d := range s.PerDevice {
+		devs = append(devs, d)
+	}
+	sort.Slice(devs, func(i, j int) bool { return devs[i] < devs[j] })
+	fmt.Fprintf(&b, "devices:")
+	for _, d := range devs {
+		fmt.Fprintf(&b, " %s=%.1f%%", d, pct(s.PerDevice[d], s.Records))
+	}
+	b.WriteByte('\n')
+	return b.String()
+}
+
+func pct(n, total int) float64 {
+	if total == 0 {
+		return 0
+	}
+	return 100 * float64(n) / float64(total)
+}

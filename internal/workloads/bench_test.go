@@ -1,0 +1,14 @@
+package workloads
+
+import "testing"
+
+// BenchmarkGenerate measures trace-generation throughput (records/op are
+// reported as ns/record via b.N records).
+func BenchmarkGenerate(b *testing.B) {
+	p, _ := ByAbbr("CFM")
+	g := NewGenerator(p)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Next()
+	}
+}

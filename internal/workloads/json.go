@@ -1,0 +1,72 @@
+package workloads
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/trace"
+)
+
+// deviceWeightJSON is the serialised device-mix entry; device mnemonics keep
+// profile files hand-editable.
+type deviceWeightJSON struct {
+	Device string  `json:"device"`
+	Weight float64 `json:"weight"`
+}
+
+// MarshalJSON implements json.Marshaler for Profile.
+func (p Profile) MarshalJSON() ([]byte, error) {
+	type alias Profile // drop methods to avoid recursion
+	var devs []deviceWeightJSON
+	for _, d := range p.Devices {
+		devs = append(devs, deviceWeightJSON{Device: d.Device.String(), Weight: d.Weight})
+	}
+	a := alias(p)
+	a.Devices = nil
+	return json.Marshal(struct {
+		alias
+		Devices []deviceWeightJSON `json:"DeviceWeights,omitempty"`
+	}{alias: a, Devices: devs})
+}
+
+// UnmarshalJSON implements json.Unmarshaler for Profile.
+func (p *Profile) UnmarshalJSON(data []byte) error {
+	type alias Profile
+	var a struct {
+		alias
+		Devices []deviceWeightJSON `json:"DeviceWeights"`
+	}
+	if err := json.Unmarshal(data, &a); err != nil {
+		return err
+	}
+	*p = Profile(a.alias)
+	p.Devices = nil
+	for _, d := range a.Devices {
+		dev, err := trace.ParseDevice(d.Device)
+		if err != nil {
+			return fmt.Errorf("workloads: %w", err)
+		}
+		p.Devices = append(p.Devices, DeviceWeight{Device: dev, Weight: d.Weight})
+	}
+	return nil
+}
+
+// WriteProfile serialises a profile as indented JSON.
+func WriteProfile(w io.Writer, p Profile) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(p)
+}
+
+// ReadProfile parses a JSON profile and validates it.
+func ReadProfile(r io.Reader) (Profile, error) {
+	var p Profile
+	if err := json.NewDecoder(r).Decode(&p); err != nil {
+		return Profile{}, fmt.Errorf("workloads: parse profile: %w", err)
+	}
+	if err := p.Validate(); err != nil {
+		return Profile{}, err
+	}
+	return p, nil
+}
