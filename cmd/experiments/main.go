@@ -7,60 +7,134 @@
 //
 // where id is one of: all, fig2, fig4, fig5, fig7, fig8, fig9, fig10,
 // tab-ipc, tab-traffic, tab-storage.
+//
+// Observability (see docs/OBSERVABILITY.md):
+//
+//	experiments -run fig7 -json fig7.json            # one combined artifact
+//	experiments -run fig7 -artifact-dir out/         # one artifact per cell
+//	experiments -run fig8 -sample-every 50000 -json fig8.json
+//	experiments -validate-artifact out.json          # parse + validate, exit
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/metrics"
+	"repro/internal/obs"
 )
 
 func main() {
 	n := flag.Int("n", 800_000, "requests per application trace")
 	warmup := flag.Float64("warmup", 0.2, "fraction of each trace run before statistics start (0 < w < 0.9; negative disables)")
 	run := flag.String("run", "all", "experiment id (all, fig2, fig4, fig5, fig7, fig8, fig9, fig9b, fig10, tab-ipc, tab-traffic, tab-storage, cache-study, abl-coord, abl-dist, abl-pt, csv)")
+	jsonPath := flag.String("json", "", "write a combined JSON run artifact to this path")
+	artifactDir := flag.String("artifact-dir", "", "write one JSON artifact per (app, prefetcher) sweep cell into this directory")
+	sampleEvery := flag.Uint64("sample-every", 0, "emit a windowed time-series sample every N requests inside each run (0 disables)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile (runtime/pprof) to this path")
+	memprofile := flag.String("memprofile", "", "write a heap profile (runtime/pprof) to this path")
+	validate := flag.String("validate-artifact", "", "read and validate the JSON artifact at this path, then exit (CI smoke check)")
 	flag.Parse()
 
-	opts := experiments.Options{Requests: *n, Warmup: *warmup}
+	if *validate != "" {
+		art, err := obs.ReadFile(*validate)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("%s: valid (schema %d, tool %s, %d cells, %d summary values)\n",
+			*validate, art.Manifest.SchemaVersion, art.Manifest.Tool,
+			len(art.Cells), len(art.Summary))
+		return
+	}
+
+	if *cpuprofile != "" {
+		stop, err := obs.StartCPUProfile(*cpuprofile)
+		if err != nil {
+			fail(err)
+		}
+		defer stop()
+	}
+
+	opts := experiments.Options{
+		Requests:    *n,
+		Warmup:      *warmup,
+		SampleEvery: *sampleEvery,
+		ArtifactDir: *artifactDir,
+	}
 	w := os.Stdout
+
+	man := obs.NewManifest("experiments")
+	man.Requests = *n
+	man.Warmup = *warmup
+	man.SampleEvery = *sampleEvery
+	start := time.Now()
+
+	// Each case prints its text tables and, where natural, contributes
+	// sweep cells and headline scalars to the combined -json artifact.
+	summary := map[string]float64{}
+	var reps map[string]map[string]metrics.Report
 	var err error
 	switch *run {
 	case "all":
-		err = experiments.RunAll(w, opts)
+		reps, err = experiments.RunAll(w, opts)
 	case "fig2":
-		experiments.Fig2(w, opts)
+		summary["fig2_timeline_accesses"] = float64(experiments.Fig2(w, opts))
 	case "fig4":
-		experiments.Fig4(w, opts)
+		summary["fig4_overlap_rate_avg"] = experiments.Fig4(w, opts)
 	case "fig5":
-		experiments.Fig5(w, opts)
+		at4, at64 := experiments.Fig5(w, opts)
+		summary["fig5_neighbors_at4"] = at4
+		summary["fig5_neighbors_at64"] = at64
 	case "fig7":
-		_, err = experiments.Fig7(w, opts)
+		reps, err = experiments.Fig7(w, opts)
 	case "fig8", "tab-ipc", "tab-traffic", "fig10":
 		r, e := experiments.Fig7(w, opts)
 		if e != nil {
 			err = e
 			break
 		}
+		reps = r
 		switch *run {
 		case "fig8":
-			experiments.Fig8(w, r)
+			vsNone, vsBOP, vsSPP := experiments.Fig8(w, r)
+			summary["fig8_amat_reduction_vs_none"] = vsNone
+			summary["fig8_amat_reduction_vs_bop"] = vsBOP
+			summary["fig8_amat_reduction_vs_spp"] = vsSPP
 		case "tab-ipc":
-			experiments.TableIPC(w, r)
+			vsNone, vsBOP, vsSPP := experiments.TableIPC(w, r)
+			summary["ipc_uplift_vs_none"] = vsNone
+			summary["ipc_uplift_vs_bop"] = vsBOP
+			summary["ipc_uplift_vs_spp"] = vsSPP
 		case "tab-traffic":
-			experiments.TableTraffic(w, r)
+			bop, spp, pl := experiments.TableTraffic(w, r)
+			summary["traffic_overhead_bop"] = bop
+			summary["traffic_overhead_spp"] = spp
+			summary["traffic_overhead_planaria"] = pl
 		case "fig10":
-			experiments.Fig10(w, r)
+			pl, bop, spp := experiments.Fig10(w, r)
+			summary["power_overhead_planaria"] = pl
+			summary["power_overhead_bop"] = bop
+			summary["power_overhead_spp"] = spp
 		}
 	case "fig9":
-		_, _, err = experiments.Fig9(w, opts)
+		var avg float64
+		avg, _, err = experiments.Fig9(w, opts)
+		summary["fig9_slp_share_avg"] = avg
 	case "fig9b":
-		_, err = experiments.Fig9b(w, opts)
+		var avg float64
+		avg, err = experiments.Fig9b(w, opts)
+		summary["fig9b_slp_share_avg"] = avg
 	case "tab-storage":
-		experiments.TableStorage(w)
+		summary["planaria_storage_kb"] = experiments.TableStorage(w)
 	case "cache-study":
-		_, err = experiments.CacheStudy(w, opts, nil)
+		var amats map[string]float64
+		amats, err = experiments.CacheStudy(w, opts, nil)
+		for k, v := range amats {
+			summary["cache_study_amat:"+k] = v
+		}
 	case "abl-coord":
 		_, err = experiments.AblationCoordinator(w, opts)
 	case "abl-dist":
@@ -73,12 +147,38 @@ func main() {
 			err = e
 			break
 		}
+		reps = r
 		err = experiments.WriteCSV(w, r)
 	default:
 		err = fmt.Errorf("unknown experiment %q", *run)
 	}
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "experiments:", err)
-		os.Exit(1)
+		fail(err)
 	}
+
+	if *jsonPath != "" {
+		man.WallTimeSec = time.Since(start).Seconds()
+		art := obs.Artifact{Manifest: man}
+		if len(summary) > 0 {
+			art.Summary = summary
+		}
+		if reps != nil {
+			art.Cells = experiments.Cells(reps)
+		}
+		if err := obs.WriteFile(*jsonPath, art); err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(w, "wrote %s (%d cells, %d summary values)\n",
+			*jsonPath, len(art.Cells), len(art.Summary))
+	}
+	if *memprofile != "" {
+		if err := obs.WriteHeapProfile(*memprofile); err != nil {
+			fail(err)
+		}
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "experiments:", err)
+	os.Exit(1)
 }

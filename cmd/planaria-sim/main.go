@@ -6,13 +6,20 @@
 //
 //	planaria-sim -app CFM -pf planaria -n 400000
 //	planaria-sim -trace trace.bin -pf spp
+//
+// Observability (see docs/OBSERVABILITY.md):
+//
+//	planaria-sim -app CFM -pf planaria -json out.json -sample-every 50000
+//	planaria-sim -app CFM -pf planaria -cpuprofile cpu.out -memprofile mem.out
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/trace"
 	"repro/internal/workloads"
@@ -24,11 +31,18 @@ func main() {
 	pf := flag.String("pf", "planaria", fmt.Sprintf("prefetcher %v", sim.PrefetcherNames()))
 	n := flag.Int("n", 800_000, "requests to generate when using -app")
 	verbose := flag.Bool("v", false, "print detailed DRAM/cache counters")
+	warmup := flag.Float64("warmup", 0, "fraction of the trace run before statistics start (0 disables)")
+	jsonPath := flag.String("json", "", "write a JSON run artifact (manifest + report + time series) to this path")
+	sampleEvery := flag.Uint64("sample-every", 0, "emit a windowed time-series sample every N requests (0 disables)")
+	sampleCycles := flag.Uint64("sample-cycles", 0, "emit a windowed time-series sample every N trace cycles (0 disables)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile (runtime/pprof) to this path")
+	memprofile := flag.String("memprofile", "", "write a heap profile (runtime/pprof) to this path")
 	flag.Parse()
 
 	var (
 		t    trace.Trace
 		name string
+		seed int64
 	)
 	if *traceFile != "" {
 		f, err := os.Open(*traceFile)
@@ -46,7 +60,7 @@ func main() {
 		if !ok {
 			fatal(fmt.Errorf("unknown app %q (have %v)", *app, workloads.Abbrs()))
 		}
-		t, name = p.Generate(*n), p.Abbr
+		t, name, seed = p.Generate(*n), p.Abbr, p.Seed
 	}
 
 	factory, err := sim.NamedPrefetcher(*pf)
@@ -55,11 +69,32 @@ func main() {
 	}
 	cfg := sim.DefaultConfig()
 	cfg.NewPrefetcher = factory
+	cfg.SampleEvery = *sampleEvery
+	cfg.SampleEveryCycles = *sampleCycles
 	eng := sim.New(cfg)
-	rep, err := eng.Run(t, name)
+
+	if *cpuprofile != "" {
+		stop, err := obs.StartCPUProfile(*cpuprofile)
+		if err != nil {
+			fatal(err)
+		}
+		defer stop()
+	}
+
+	man := obs.NewManifest("planaria-sim")
+	man.Workload, man.Prefetcher = name, eng.PrefetcherName()
+	man.TraceLen, man.Requests = len(t), len(t)
+	man.Warmup = *warmup
+	man.SampleEvery = *sampleEvery
+	man.Seed = seed
+	start := time.Now()
+
+	rep, err := eng.RunWarm(t, name, *warmup)
 	if err != nil {
 		fatal(err)
 	}
+	man.WallTimeSec = time.Since(start).Seconds()
+
 	fmt.Print(rep)
 	if *verbose {
 		fmt.Printf("\ncache: %+v\n", rep.Cache)
@@ -67,6 +102,21 @@ func main() {
 		fmt.Printf("queue: %+v\n", rep.Prefetch)
 		fmt.Printf("late prefetch hits: %d\n", rep.LatePrefetchHits)
 		fmt.Printf("cycles: %d\n", rep.Cycles)
+	}
+	if *jsonPath != "" {
+		if err := obs.WriteFile(*jsonPath, obs.Artifact{Manifest: man, Report: &rep}); err != nil {
+			fatal(err)
+		}
+		samples := 0
+		if rep.Series != nil {
+			samples = len(rep.Series.Samples)
+		}
+		fmt.Printf("wrote %s (%d time-series samples)\n", *jsonPath, samples)
+	}
+	if *memprofile != "" {
+		if err := obs.WriteHeapProfile(*memprofile); err != nil {
+			fatal(err)
+		}
 	}
 }
 

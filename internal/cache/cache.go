@@ -108,16 +108,16 @@ type line struct {
 
 // Stats accumulates cache events. All counters are monotonically increasing.
 type Stats struct {
-	DemandAccesses   uint64
-	DemandHits       uint64
-	DemandMisses     uint64
-	PrefetchFills    uint64
-	DemandFills      uint64
-	UsefulPrefetches uint64 // demand hit on a line filled by prefetch
-	WastedPrefetches uint64 // prefetched line evicted before any demand hit
-	Writebacks       uint64 // dirty evictions
-	Evictions        uint64
-	PollutionEvicts  uint64 // demand-resident line evicted to make room for a prefetch
+	DemandAccesses   uint64 `json:"demand_accesses"`
+	DemandHits       uint64 `json:"demand_hits"`
+	DemandMisses     uint64 `json:"demand_misses"`
+	PrefetchFills    uint64 `json:"prefetch_fills"`
+	DemandFills      uint64 `json:"demand_fills"`
+	UsefulPrefetches uint64 `json:"useful_prefetches"` // demand hit on a line filled by prefetch
+	WastedPrefetches uint64 `json:"wasted_prefetches"` // prefetched line evicted before any demand hit
+	Writebacks       uint64 `json:"writebacks"`        // dirty evictions
+	Evictions        uint64 `json:"evictions"`
+	PollutionEvicts  uint64 `json:"pollution_evicts"` // demand-resident line evicted to make room for a prefetch
 }
 
 // HitRate returns demand hits / demand accesses.

@@ -33,31 +33,31 @@ func (r *Request) Latency() uint64 {
 
 // Stats counts commands and occupancy for performance and power analysis.
 type Stats struct {
-	Reads              uint64
-	Writes             uint64
-	Activates          uint64
-	Precharges         uint64
-	Refreshes          uint64
-	RowHits            uint64
-	RowMisses          uint64 // row conflicts (PRE+ACT needed)
-	RowEmpty           uint64 // bank closed (ACT needed)
-	DemandReads        uint64
-	PrefReads          uint64
-	AllocReads         uint64 // write-allocate fetches
-	TotalDemandReadLat uint64 // sum of demand read latencies
-	BusBusy            uint64 // cycles the data bus carried bursts
-	LastDone           uint64 // completion time of the latest burst
+	Reads              uint64 `json:"reads"`
+	Writes             uint64 `json:"writes"`
+	Activates          uint64 `json:"activates"`
+	Precharges         uint64 `json:"precharges"`
+	Refreshes          uint64 `json:"refreshes"`
+	RowHits            uint64 `json:"row_hits"`
+	RowMisses          uint64 `json:"row_misses"` // row conflicts (PRE+ACT needed)
+	RowEmpty           uint64 `json:"row_empty"`  // bank closed (ACT needed)
+	DemandReads        uint64 `json:"demand_reads"`
+	PrefReads          uint64 `json:"pref_reads"`
+	AllocReads         uint64 `json:"alloc_reads"`           // write-allocate fetches
+	TotalDemandReadLat uint64 `json:"total_demand_read_lat"` // sum of demand read latencies
+	BusBusy            uint64 `json:"bus_busy"`              // cycles the data bus carried bursts
+	LastDone           uint64 `json:"last_done"`             // completion time of the latest burst
 
 	// Power-down residency (Table 1's tCKE/tXP): cycles spent with CKE
 	// low, and the number of power-down entries. Background power drops
 	// sharply while powered down; each exit costs tXP before the next
 	// command.
-	PowerDownCycles  uint64
-	PowerDownEntries uint64
+	PowerDownCycles  uint64 `json:"power_down_cycles"`
+	PowerDownEntries uint64 `json:"power_down_entries"`
 
 	// LatencyHist buckets demand read latencies: <50, <100, <200, <400,
 	// <800, <1600, <3200, rest.
-	LatencyHist [8]uint64
+	LatencyHist [8]uint64 `json:"latency_hist"`
 }
 
 // latencyBucket maps a latency to its LatencyHist index.

@@ -16,6 +16,7 @@ import (
 func RunOneWith(p workloads.Profile, factory func(int) prefetch.Prefetcher, opts Options) (metrics.Report, error) {
 	cfg := sim.DefaultConfig()
 	cfg.NewPrefetcher = factory
+	cfg.SampleEvery = opts.SampleEvery
 	eng := sim.New(cfg)
 	return runWarm(eng, TraceFor(p, opts.requests()), p.Abbr, opts)
 }

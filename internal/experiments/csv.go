@@ -25,8 +25,11 @@ func WriteCSV(w io.Writer, reps map[string]map[string]metrics.Report) error {
 	model := metrics.DefaultIPCModel()
 	f := func(v float64) string { return strconv.FormatFloat(v, 'f', 6, 64) }
 	u := func(v uint64) string { return strconv.FormatUint(v, 10) }
+	// Sorted app and prefetcher order keeps the CSV diff-stable across
+	// runs (map iteration order would shuffle rows otherwise).
 	for _, app := range appOrder(reps) {
-		for pf, rep := range reps[app] {
+		for _, pf := range prefetcherOrder(reps[app]) {
+			rep := reps[app][pf]
 			row := []string{
 				app, pf, u(rep.DemandReads), u(rep.DemandWrites),
 				f(rep.HitRate()), f(rep.AMAT), f(model.IPC(rep.AMAT)),

@@ -1,0 +1,15 @@
+// Package experiments contains one runner per figure and table of the
+// paper's evaluation, shared by cmd/experiments and the benchmark harness
+// in bench_test.go. Each runner generates the workload traces, drives the
+// simulator and returns the same rows/series the paper reports.
+//
+// Sweeps run every catalog app under every requested prefetcher
+// concurrently (results are deterministic and identical to a serial
+// sweep); Options controls the trace length, warmup fraction and the
+// observability knobs. With Options.SampleEvery set, every simulated run
+// carries a windowed metrics time series; with Options.ArtifactDir set,
+// Sweep additionally writes one JSON run artifact per (app × prefetcher)
+// cell — see the internal/obs package and docs/OBSERVABILITY.md. All
+// rendered output (text tables, CSV rows, artifact cells) uses a
+// deterministic app and prefetcher order, so reruns are diff-stable.
+package experiments

@@ -1,7 +1,3 @@
-// Package experiments contains one runner per figure and table of the
-// paper's evaluation, shared by cmd/experiments and the benchmark harness in
-// bench_test.go. Each runner generates the workload traces, drives the
-// simulator and returns the same rows/series the paper reports.
 package experiments
 
 import (
@@ -27,6 +23,18 @@ type Options struct {
 	// selects the default of 0.2).
 	Warmup  float64
 	Verbose bool
+
+	// SampleEvery enables windowed time-series sampling inside every
+	// simulated run: one metrics sample per N trace records (zero
+	// disables). Reports then carry a Series, and JSON artifacts include
+	// it. See docs/OBSERVABILITY.md.
+	SampleEvery uint64
+
+	// ArtifactDir, when non-empty, makes Sweep write one JSON run
+	// artifact per (app × prefetcher) cell into the directory, named
+	// "<app>_<prefetcher>.json", alongside whatever text tables the
+	// caller prints.
+	ArtifactDir string
 }
 
 // DefaultOptions returns the default experiment scale: large enough for
@@ -81,19 +89,7 @@ func TraceFor(p workloads.Profile, n int) trace.Trace {
 // runWarm drives a trace through an engine with the options' warmup window
 // discarded from the statistics.
 func runWarm(eng *sim.Engine, t trace.Trace, name string, opts Options) (metrics.Report, error) {
-	w := int(float64(len(t)) * opts.warmup())
-	for _, rec := range t[:w] {
-		if err := eng.Step(rec); err != nil {
-			return metrics.Report{}, err
-		}
-	}
-	eng.ResetStats()
-	for _, rec := range t[w:] {
-		if err := eng.Step(rec); err != nil {
-			return metrics.Report{}, err
-		}
-	}
-	return eng.Finish(name), nil
+	return eng.RunWarm(t, name, opts.warmup())
 }
 
 // RunOne simulates one app trace under one named prefetcher.
@@ -104,6 +100,7 @@ func RunOne(p workloads.Profile, pf string, opts Options) (metrics.Report, error
 	}
 	cfg := sim.DefaultConfig()
 	cfg.NewPrefetcher = factory
+	cfg.SampleEvery = opts.SampleEvery
 	eng := sim.New(cfg)
 	return runWarm(eng, TraceFor(p, opts.requests()), p.Abbr, opts)
 }
@@ -157,6 +154,11 @@ func Sweep(prefetchers []string, opts Options) (map[string]map[string]metrics.Re
 	wg.Wait()
 	if first != nil {
 		return nil, first
+	}
+	if opts.ArtifactDir != "" {
+		if err := writeCellArtifacts(opts.ArtifactDir, out, opts); err != nil {
+			return nil, err
+		}
 	}
 	return out, nil
 }
@@ -413,26 +415,28 @@ func TableStorage(w io.Writer) float64 {
 	return kb
 }
 
-// Summary strings the full evaluation; used by cmd/experiments -run all.
-func RunAll(w io.Writer, opts Options) error {
+// RunAll strings the full evaluation; used by cmd/experiments -run all. It
+// returns the Figure 7 sweep reports so callers can derive artifacts from
+// the same runs the tables printed.
+func RunAll(w io.Writer, opts Options) (map[string]map[string]metrics.Report, error) {
 	Fig4(w, opts)
 	Fig5(w, opts)
 	reps, err := Fig7(w, opts)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	Fig8(w, reps)
 	if _, _, err := Fig9(w, opts); err != nil {
-		return err
+		return nil, err
 	}
 	if _, err := Fig9b(w, opts); err != nil {
-		return err
+		return nil, err
 	}
 	Fig10(w, reps)
 	TableIPC(w, reps)
 	TableTraffic(w, reps)
 	TableStorage(w)
-	return nil
+	return reps, nil
 }
 
 // Fig2 extracts the snapshot timeline of a hot page (rendered as text).

@@ -262,8 +262,12 @@ func TestRunAll(t *testing.T) {
 		t.Skip("full runner in -short mode")
 	}
 	var buf bytes.Buffer
-	if err := RunAll(&buf, Options{Requests: 30_000}); err != nil {
+	reps, err := RunAll(&buf, Options{Requests: 30_000})
+	if err != nil {
 		t.Fatal(err)
+	}
+	if len(reps) == 0 {
+		t.Fatal("RunAll returned no sweep reports")
 	}
 	for _, frag := range []string{"Figure 4", "Figure 5", "Figure 7", "Figure 8", "Figure 9", "Figure 10", "Storage"} {
 		if !strings.Contains(buf.String(), frag) {

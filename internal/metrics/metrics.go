@@ -17,32 +17,37 @@ import (
 // Report is the result of one simulation run (one workload × one
 // prefetcher), aggregated over all four channels.
 type Report struct {
-	Workload   string
-	Prefetcher string
+	Workload   string `json:"workload"`
+	Prefetcher string `json:"prefetcher"`
 
-	DemandReads  uint64
-	DemandWrites uint64
+	DemandReads  uint64 `json:"demand_reads"`
+	DemandWrites uint64 `json:"demand_writes"`
 
-	Cache    cache.Stats    // summed over channels
-	DRAM     dram.Stats     // summed over channels
-	Prefetch prefetch.Stats // summed over channels
+	Cache    cache.Stats    `json:"cache"`    // summed over channels
+	DRAM     dram.Stats     `json:"dram"`     // summed over channels
+	Prefetch prefetch.Stats `json:"prefetch"` // summed over channels
 
 	// LatePrefetchHits counts demand reads served by a prefetch still in
 	// flight (the demand waited out the remaining fill latency).
-	LatePrefetchHits uint64
+	LatePrefetchHits uint64 `json:"late_prefetch_hits"`
 
 	// UsefulByOrigin attributes useful prefetches (including late hits)
 	// to the issuing sub-prefetcher for composite prefetchers that report
 	// an origin ("slp"/"tlp" for Planaria). Empty for other prefetchers.
-	UsefulByOrigin map[string]uint64
+	UsefulByOrigin map[string]uint64 `json:"useful_by_origin,omitempty"`
 
-	SCHitLatency uint64  // cycles charged for an SC hit
-	AMAT         float64 // average memory access time for demand reads, cycles
-	Cycles       uint64  // wall-clock duration of the run
+	SCHitLatency uint64  `json:"sc_hit_latency"` // cycles charged for an SC hit
+	AMAT         float64 `json:"amat_cycles"`    // average memory access time for demand reads, cycles
+	Cycles       uint64  `json:"cycles"`         // wall-clock duration of the run
 
-	Energy power.Breakdown
+	Energy power.Breakdown `json:"energy_pj"`
 
-	StorageBits int // prefetcher metadata across channels
+	StorageBits int `json:"storage_bits"` // prefetcher metadata across channels
+
+	// Series is the windowed time-series of the run, present when
+	// sampling was enabled (sim.Config.SampleEvery*); nil otherwise. Its
+	// window counters sum exactly to the aggregates above.
+	Series *TimeSeries `json:"series,omitempty"`
 }
 
 // HitRate returns the demand hit rate of the system cache.

@@ -1,0 +1,157 @@
+package obs
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// SchemaVersion identifies the artifact schema; bump it on any breaking
+// change to Manifest, Artifact or the embedded metrics types.
+const SchemaVersion = 1
+
+// Manifest records the provenance of one run: everything needed to
+// reproduce the numbers in the artifact it accompanies.
+type Manifest struct {
+	SchemaVersion int    `json:"schema_version"`
+	Tool          string `json:"tool"` // producing command, e.g. "planaria-sim"
+
+	Workload   string `json:"workload,omitempty"`
+	Prefetcher string `json:"prefetcher,omitempty"`
+
+	TraceLen    int     `json:"trace_len,omitempty"` // records simulated
+	Requests    int     `json:"requests,omitempty"`  // configured trace length
+	Warmup      float64 `json:"warmup,omitempty"`    // warmup fraction
+	SampleEvery uint64  `json:"sample_every,omitempty"`
+	Seed        int64   `json:"seed,omitempty"`
+
+	GitDescribe string    `json:"git_describe,omitempty"`
+	GoVersion   string    `json:"go_version"`
+	OS          string    `json:"os"`
+	Arch        string    `json:"arch"`
+	StartTime   time.Time `json:"start_time"`
+	WallTimeSec float64   `json:"wall_time_seconds"`
+}
+
+// NewManifest builds a manifest for the named tool with the environment
+// fields (git describe, Go version, platform, start time) filled in.
+func NewManifest(tool string) Manifest {
+	return Manifest{
+		SchemaVersion: SchemaVersion,
+		Tool:          tool,
+		GitDescribe:   GitDescribe(),
+		GoVersion:     runtime.Version(),
+		OS:            runtime.GOOS,
+		Arch:          runtime.GOARCH,
+		StartTime:     time.Now().UTC(),
+	}
+}
+
+// Cell is one (app × prefetcher) result of a sweep.
+type Cell struct {
+	App        string         `json:"app"`
+	Prefetcher string         `json:"prefetcher"`
+	Report     metrics.Report `json:"report"`
+}
+
+// Artifact is the complete JSON run artifact: a manifest plus whichever
+// result shapes the producing tool has — a single report, sweep cells,
+// headline scalars, or any combination.
+type Artifact struct {
+	Manifest Manifest           `json:"manifest"`
+	Report   *metrics.Report    `json:"report,omitempty"`
+	Summary  map[string]float64 `json:"summary,omitempty"`
+	Cells    []Cell             `json:"cells,omitempty"`
+}
+
+// Validate checks the structural invariants every artifact must satisfy.
+func (a Artifact) Validate() error {
+	if a.Manifest.SchemaVersion != SchemaVersion {
+		return fmt.Errorf("obs: schema version %d, want %d",
+			a.Manifest.SchemaVersion, SchemaVersion)
+	}
+	if a.Manifest.Tool == "" {
+		return errors.New("obs: manifest missing tool")
+	}
+	if a.Manifest.GoVersion == "" {
+		return errors.New("obs: manifest missing go_version")
+	}
+	for _, c := range a.Cells {
+		if c.App == "" || c.Prefetcher == "" {
+			return fmt.Errorf("obs: cell missing app/prefetcher: %+v", c)
+		}
+	}
+	return nil
+}
+
+// Encode writes the artifact as indented JSON.
+func Encode(w io.Writer, a Artifact) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(a); err != nil {
+		return fmt.Errorf("obs: encode: %w", err)
+	}
+	return nil
+}
+
+// Decode reads one artifact and validates it.
+func Decode(r io.Reader) (Artifact, error) {
+	var a Artifact
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&a); err != nil {
+		return Artifact{}, fmt.Errorf("obs: decode: %w", err)
+	}
+	if err := a.Validate(); err != nil {
+		return Artifact{}, err
+	}
+	return a, nil
+}
+
+// WriteFile writes the artifact to path, creating parent directories as
+// needed.
+func WriteFile(path string, a Artifact) error {
+	if dir := filepath.Dir(path); dir != "." && dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return fmt.Errorf("obs: %w", err)
+		}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("obs: %w", err)
+	}
+	if err := Encode(f, a); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadFile reads and validates the artifact at path.
+func ReadFile(path string) (Artifact, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Artifact{}, fmt.Errorf("obs: %w", err)
+	}
+	defer f.Close()
+	return Decode(f)
+}
+
+// GitDescribe returns `git describe --always --dirty` for the working
+// directory, or "" when git or the repository is unavailable. Best-effort
+// provenance only — artifacts stay valid without it.
+func GitDescribe() string {
+	out, err := exec.Command("git", "describe", "--always", "--dirty").Output()
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(out))
+}

@@ -1,0 +1,164 @@
+package obs
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/metrics"
+)
+
+func sampleArtifact() Artifact {
+	man := NewManifest("planaria-sim")
+	man.Workload, man.Prefetcher = "CFM", "planaria"
+	man.TraceLen, man.Requests = 800_000, 800_000
+	man.SampleEvery = 50_000
+	man.Seed = 101
+	man.WallTimeSec = 1.25
+	rep := metrics.Report{
+		Workload:    "CFM",
+		Prefetcher:  "planaria",
+		DemandReads: 640_000,
+		AMAT:        150.25,
+		Series: &metrics.TimeSeries{
+			EveryRequests: 50_000,
+			Samples:       []metrics.Sample{{EndCycle: 100, Requests: 50_000}},
+		},
+	}
+	return Artifact{
+		Manifest: man,
+		Report:   &rep,
+		Summary:  map[string]float64{"hit_rate": 0.82},
+	}
+}
+
+func TestManifestEnvironmentFields(t *testing.T) {
+	man := NewManifest("experiments")
+	if man.SchemaVersion != SchemaVersion {
+		t.Fatalf("schema version %d", man.SchemaVersion)
+	}
+	if man.GoVersion == "" || man.OS == "" || man.Arch == "" {
+		t.Fatalf("environment fields missing: %+v", man)
+	}
+	if man.StartTime.IsZero() {
+		t.Fatal("start time not set")
+	}
+}
+
+func TestArtifactRoundTrip(t *testing.T) {
+	art := sampleArtifact()
+	var buf bytes.Buffer
+	if err := Encode(&buf, art); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(art, back) {
+		t.Fatalf("round trip changed the artifact:\n before %+v\n after  %+v", art, back)
+	}
+}
+
+func TestWriteReadFile(t *testing.T) {
+	dir := t.TempDir()
+	// Nested path exercises directory creation.
+	path := filepath.Join(dir, "artifacts", "CFM_planaria.json")
+	art := sampleArtifact()
+	if err := WriteFile(path, art); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(art, back) {
+		t.Fatal("file round trip changed the artifact")
+	}
+	// The on-disk form must use the documented snake_case schema.
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{`"schema_version"`, `"manifest"`, `"amat_cycles"`, `"every_requests"`} {
+		if !strings.Contains(string(raw), key) {
+			t.Fatalf("artifact JSON missing key %s", key)
+		}
+	}
+}
+
+func TestValidateRejectsBadArtifacts(t *testing.T) {
+	good := sampleArtifact()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid artifact rejected: %v", err)
+	}
+
+	bad := good
+	bad.Manifest.SchemaVersion = 99
+	if err := bad.Validate(); err == nil {
+		t.Fatal("wrong schema version accepted")
+	}
+
+	bad = good
+	bad.Manifest.Tool = ""
+	if err := bad.Validate(); err == nil {
+		t.Fatal("missing tool accepted")
+	}
+
+	bad = good
+	bad.Cells = []Cell{{App: "CFM"}} // no prefetcher
+	if err := bad.Validate(); err == nil {
+		t.Fatal("incomplete cell accepted")
+	}
+
+	// Decode must also reject garbage.
+	if _, err := Decode(strings.NewReader("{")); err == nil {
+		t.Fatal("truncated JSON accepted")
+	}
+}
+
+func TestDeterministicEncoding(t *testing.T) {
+	art := sampleArtifact()
+	var a, b bytes.Buffer
+	if err := Encode(&a, art); err != nil {
+		t.Fatal(err)
+	}
+	if err := Encode(&b, art); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("same artifact encoded differently twice")
+	}
+}
+
+func TestProfileHooks(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.out")
+	stop, err := StartCPUProfile(cpu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Burn a little CPU so the profile has something to record.
+	x := 0
+	for i := 0; i < 1_000_000; i++ {
+		x += i * i
+	}
+	_ = x
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+	if fi, err := os.Stat(cpu); err != nil || fi.Size() == 0 {
+		t.Fatalf("cpu profile not written: %v", err)
+	}
+
+	mem := filepath.Join(dir, "mem.out")
+	if err := WriteHeapProfile(mem); err != nil {
+		t.Fatal(err)
+	}
+	if fi, err := os.Stat(mem); err != nil || fi.Size() == 0 {
+		t.Fatalf("heap profile not written: %v", err)
+	}
+}

@@ -49,13 +49,13 @@ func DefaultParams() Params {
 
 // Breakdown is the energy decomposition of one simulation run, in picojoules.
 type Breakdown struct {
-	Activate   float64
-	Read       float64
-	Write      float64
-	Refresh    float64
-	Background float64
-	SysCache   float64
-	Metadata   float64
+	Activate   float64 `json:"activate"`
+	Read       float64 `json:"read"`
+	Write      float64 `json:"write"`
+	Refresh    float64 `json:"refresh"`
+	Background float64 `json:"background"`
+	SysCache   float64 `json:"sys_cache"`
+	Metadata   float64 `json:"metadata"`
 }
 
 // Total returns the summed energy in picojoules.

@@ -66,10 +66,10 @@ func (None) Reset() {}
 
 // Stats counts queue-level prefetch events for one channel.
 type Stats struct {
-	Candidates uint64 // blocks proposed by the prefetcher
-	Filtered   uint64 // dropped: already resident or in flight
-	Issued     uint64 // entered the prefetch queue
-	Dropped    uint64 // queue full
+	Candidates uint64 `json:"candidates"` // blocks proposed by the prefetcher
+	Filtered   uint64 `json:"filtered"`   // dropped: already resident or in flight
+	Issued     uint64 `json:"issued"`     // entered the prefetch queue
+	Dropped    uint64 `json:"dropped"`    // queue full
 }
 
 // Queue is the bounded prefetch queue between a prefetcher and a DRAM

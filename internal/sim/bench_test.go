@@ -1,0 +1,37 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/workloads"
+)
+
+// benchEngine drives one pre-generated trace through a fresh engine per
+// iteration; sampling cadence 0 is the baseline the observability layer
+// must not slow down (the disabled path is a single nil check per step).
+func benchEngine(b *testing.B, sampleEvery uint64) {
+	p := workloads.Catalog()[0]
+	tr := p.Generate(100_000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg := DefaultConfig()
+		factory, err := NamedPrefetcher("planaria")
+		if err != nil {
+			b.Fatal(err)
+		}
+		cfg.NewPrefetcher = factory
+		cfg.SampleEvery = sampleEvery
+		eng := New(cfg)
+		if _, err := eng.Run(tr, p.Abbr); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(tr)*b.N)/b.Elapsed().Seconds(), "req/s")
+}
+
+// BenchmarkEngineStep is the sampling-disabled baseline.
+func BenchmarkEngineStep(b *testing.B) { benchEngine(b, 0) }
+
+// BenchmarkEngineStepSampled measures the same run with a 10k-request
+// sampling cadence, bounding the cost of enabled observability.
+func BenchmarkEngineStepSampled(b *testing.B) { benchEngine(b, 10_000) }

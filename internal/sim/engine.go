@@ -1,18 +1,3 @@
-// Package sim ties the substrates together into the paper's evaluation
-// vehicle: a trace-driven memory-system simulator in the mould of the
-// modified DRAMSim2 used in Section 5.
-//
-// The memory side is organised per DRAM channel, as in the paper: each
-// channel owns a slice of the system cache, its own prefetcher instance and
-// its own LPDDR4 controller. Demand requests flow trace → SC slice →
-// (on miss) DRAM; prefetchers observe every demand access (learning) and
-// emit prefetch requests (issuing) that fill the SC and consume DRAM
-// bandwidth at lower scheduling priority.
-//
-// The simulator is functionally eager and timing-lazy: cache state updates
-// at trace order while DRAM latency, bandwidth and energy are accounted by
-// the event-driven controller. This is the standard trace-driven
-// "functional + timing" split; see DESIGN.md.
 package sim
 
 import (
@@ -59,6 +44,15 @@ type Config struct {
 	// DRAM bandwidth any prefetcher can consume, a natural hardening for
 	// the paper's power-constrained setting.
 	ThrottleOutstanding int
+
+	// SampleEvery closes a metrics time-series window every N trace
+	// records; SampleEveryCycles closes one whenever the trace clock has
+	// advanced by at least N cycles since the last window boundary.
+	// Either cadence (or both) may be set; when both are zero, sampling
+	// is disabled entirely and the engine's hot path pays only a nil
+	// check per step. See metrics.Sampler and docs/OBSERVABILITY.md.
+	SampleEvery       uint64
+	SampleEveryCycles uint64
 }
 
 // DefaultConfig returns the paper's system: 4 × 1 MB 16-way SC slices,
@@ -171,6 +165,11 @@ type Engine struct {
 	cfg      Config
 	channels [addr.Channels]*channelState
 	pfName   string
+
+	// Observability: requests counts records since the last statistics
+	// reset; sampler is nil unless a sampling cadence was configured.
+	requests uint64
+	sampler  *metrics.Sampler
 }
 
 // New builds an engine; it panics on an invalid configuration
@@ -212,6 +211,9 @@ func New(cfg Config) *Engine {
 			e.pfName = pf.Name()
 		}
 	}
+	if cfg.SampleEvery > 0 || cfg.SampleEveryCycles > 0 {
+		e.sampler = metrics.NewSampler(cfg.SampleEvery, cfg.SampleEveryCycles)
+	}
 	return e
 }
 
@@ -242,6 +244,16 @@ func (e *Engine) ResetStats() {
 		cs.demandWrites = 0
 		cs.usefulOrigin = make(map[string]uint64)
 		cs.statsFrom = cs.lastCycle
+	}
+	e.requests = 0
+	if e.sampler != nil {
+		var from uint64
+		for _, cs := range e.channels {
+			if cs.lastCycle > from {
+				from = cs.lastCycle
+			}
+		}
+		e.sampler.Reset(from)
 	}
 }
 
@@ -416,7 +428,46 @@ func (e *Engine) Step(rec trace.Record) error {
 			origin: origin,
 		})
 	}
+
+	if e.sampler != nil {
+		e.requests++
+		if e.sampler.Due(e.requests, rec.Cycle) {
+			e.sampler.Record(e.snapshot(rec.Cycle))
+		}
+	}
 	return nil
+}
+
+// snapshot sums the live counters of every channel into one cumulative
+// metrics snapshot; ReadLatency mirrors the AMAT numerator of Finish.
+func (e *Engine) snapshot(cycle uint64) metrics.Snapshot {
+	s := metrics.Snapshot{Cycle: cycle, Requests: e.requests}
+	for _, cs := range e.channels {
+		cstats := cs.cache.Stats()
+		dstats := cs.dram.Stats()
+		qstats := cs.queue.Stats()
+		s.DemandReads += cs.demandReads
+		s.DemandWrites += cs.demandWrites
+		s.DemandHits += cstats.DemandHits
+		s.DemandMisses += cstats.DemandMisses
+		s.PrefetchFills += cstats.PrefetchFills
+		s.UsefulPrefetches += cstats.UsefulPrefetches
+		s.LatePrefetchHits += cs.lateHits
+		s.Issued += qstats.Issued
+		s.DRAMReads += dstats.Reads
+		s.DRAMWrites += dstats.Writes
+		s.PrefReads += dstats.PrefReads
+		s.ReadLatency += cs.hitLatency + cs.lateLatency +
+			dstats.DemandReads*e.cfg.SCHitLatency +
+			dstats.TotalDemandReadLat
+		for o, n := range cs.usefulOrigin {
+			if s.UsefulByOrigin == nil {
+				s.UsefulByOrigin = make(map[string]uint64)
+			}
+			s.UsefulByOrigin[o] += n
+		}
+	}
+	return s
 }
 
 // writeback enqueues the dirty victim of a fill, if any.
@@ -441,6 +492,32 @@ func (e *Engine) Run(t trace.Trace, workload string) (metrics.Report, error) {
 	return e.Finish(workload), nil
 }
 
+// RunWarm processes a whole trace with the first warmup fraction of records
+// used only to warm caches and train prefetchers: statistics (and the
+// metrics sampler, when enabled) are reset at the boundary, so the report
+// covers the measured region alone. Fractions outside [0, 0.9] are clamped.
+func (e *Engine) RunWarm(t trace.Trace, workload string, warmup float64) (metrics.Report, error) {
+	switch {
+	case warmup < 0 || warmup != warmup: // negative or NaN
+		warmup = 0
+	case warmup > 0.9:
+		warmup = 0.9
+	}
+	w := int(float64(len(t)) * warmup)
+	for _, rec := range t[:w] {
+		if err := e.Step(rec); err != nil {
+			return metrics.Report{}, err
+		}
+	}
+	e.ResetStats()
+	for _, rec := range t[w:] {
+		if err := e.Step(rec); err != nil {
+			return metrics.Report{}, err
+		}
+	}
+	return e.Finish(workload), nil
+}
+
 // Finish flushes the DRAM controllers and builds the report.
 func (e *Engine) Finish(workload string) metrics.Report {
 	rep := metrics.Report{
@@ -450,7 +527,7 @@ func (e *Engine) Finish(workload string) metrics.Report {
 		UsefulByOrigin: make(map[string]uint64),
 	}
 	pm := power.New(e.cfg.Power)
-	var totalReadLat, cycles uint64
+	var totalReadLat, cycles, lastEnd uint64
 	for _, cs := range e.channels {
 		// Land any still-in-flight prefetches so accounting is complete.
 		_ = e.commitPending(cs, ^uint64(0))
@@ -480,6 +557,9 @@ func (e *Engine) Finish(workload string) metrics.Report {
 		if dstats.LastDone > end {
 			end = dstats.LastDone
 		}
+		if end > lastEnd {
+			lastEnd = end
+		}
 		span := uint64(0)
 		if end > cs.statsFrom {
 			span = end - cs.statsFrom
@@ -489,6 +569,12 @@ func (e *Engine) Finish(workload string) metrics.Report {
 		}
 	}
 	rep.Cycles = cycles
+	if e.sampler != nil {
+		// Close the final (partial) window only now, after in-flight
+		// prefetches landed and the controllers flushed, so the series
+		// totals equal the report aggregates exactly.
+		rep.Series = e.sampler.Finish(e.snapshot(lastEnd))
+	}
 	for _, cs := range e.channels {
 		rep.Energy = power.Add(rep.Energy,
 			pm.Account(cs.dram.Stats(), cs.scEvents, cs.metaEvents,
