@@ -32,6 +32,7 @@ func main() {
 	n := flag.Int("n", 800_000, "requests to generate when using -app")
 	verbose := flag.Bool("v", false, "print detailed DRAM/cache counters")
 	warmup := flag.Float64("warmup", 0, "fraction of the trace run before statistics start (0 disables)")
+	parallel := flag.Bool("parallel", true, "run the four channel slices concurrently (bit-identical reports; -parallel=false forces the serial engine)")
 	jsonPath := flag.String("json", "", "write a JSON run artifact (manifest + report + time series) to this path")
 	sampleEvery := flag.Uint64("sample-every", 0, "emit a windowed time-series sample every N requests (0 disables)")
 	sampleCycles := flag.Uint64("sample-cycles", 0, "emit a windowed time-series sample every N trace cycles (0 disables)")
@@ -71,6 +72,7 @@ func main() {
 	cfg.NewPrefetcher = factory
 	cfg.SampleEvery = *sampleEvery
 	cfg.SampleEveryCycles = *sampleCycles
+	cfg.ParallelChannels = *parallel
 	eng := sim.New(cfg)
 
 	if *cpuprofile != "" {

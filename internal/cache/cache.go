@@ -104,6 +104,11 @@ type line struct {
 	prefetched bool // filled by a prefetch and not yet demanded
 	stamp      uint64
 	rrpv       uint8
+	// origin is an opaque caller-assigned tag for prefetched lines (the
+	// simulator interns sub-prefetcher names to these ids); 0 means
+	// untagged. It rides in the line so the caller needs no side table
+	// keyed by block number.
+	origin uint8
 }
 
 // Stats accumulates cache events. All counters are monotonically increasing.
@@ -217,6 +222,14 @@ func (c *Cache) Access(b addr.BlockNum, write bool) (hit bool) {
 // hit consumed a prefetched line for the first time (the event counted in
 // Stats.UsefulPrefetches).
 func (c *Cache) AccessInfo(b addr.BlockNum, write bool) (hit, firstUse bool) {
+	hit, firstUse, _ = c.AccessOrigin(b, write)
+	return hit, firstUse
+}
+
+// AccessOrigin is AccessInfo extended with the origin tag of the consumed
+// prefetched line: when firstUse is true, origin carries the tag the line
+// was filled with (see FillOrigin); it is 0 otherwise.
+func (c *Cache) AccessOrigin(b addr.BlockNum, write bool) (hit, firstUse bool, origin uint8) {
 	c.clock++
 	c.stats.DemandAccesses++
 	set, tag := c.index(b)
@@ -228,12 +241,14 @@ func (c *Cache) AccessInfo(b addr.BlockNum, write bool) (hit, firstUse bool) {
 				c.stats.UsefulPrefetches++
 				l.prefetched = false
 				firstUse = true
+				origin = l.origin
+				l.origin = 0
 			}
 			if write {
 				l.dirty = true
 			}
 			c.promote(l)
-			return true, firstUse
+			return true, firstUse, origin
 		}
 	}
 	c.stats.DemandMisses++
@@ -250,7 +265,7 @@ func (c *Cache) AccessInfo(b addr.BlockNum, write bool) (hit, firstUse bool) {
 			}
 		}
 	}
-	return false, false
+	return false, false, 0
 }
 
 // Contains probes for block b without touching replacement state or
@@ -278,6 +293,13 @@ type EvictInfo struct {
 // EvictInfo is zero. The victim, if any, is reported so the simulator can
 // issue the writeback.
 func (c *Cache) Fill(b addr.BlockNum, prefetch, write bool) EvictInfo {
+	return c.FillOrigin(b, prefetch, write, 0)
+}
+
+// FillOrigin is Fill with an origin tag: a prefetch fill stores the opaque
+// tag in the line, and the tag comes back from AccessOrigin when the line
+// is demanded for the first time. Demand fills ignore the tag.
+func (c *Cache) FillOrigin(b addr.BlockNum, prefetch, write bool, origin uint8) EvictInfo {
 	c.clock++
 	set, tag := c.index(b)
 	victim := -1
@@ -315,6 +337,7 @@ func (c *Cache) Fill(b addr.BlockNum, prefetch, write bool) EvictInfo {
 	l.stamp = c.clock // LRU treats fills uniformly
 	switch {
 	case prefetch:
+		l.origin = origin
 		c.stats.PrefetchFills++
 		// RRIP-family policies insert prefetches with a distant
 		// re-reference prediction so inaccurate prefetchers pollute

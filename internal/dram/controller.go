@@ -135,8 +135,16 @@ type Controller struct {
 	headBypass int // consecutive picks that bypassed the oldest request
 	stats      Stats
 
+	// free holds serviced requests available for reuse through NewRequest,
+	// so the per-record hot path of the simulator allocates no Request at
+	// steady state. Its size is bounded by the controller's peak queue
+	// occupancy.
+	free []*Request
+
 	// TraceFn, when non-nil, is invoked with every request right after it
-	// is serviced (debugging and tooling hook).
+	// is serviced (debugging and tooling hook). While it is set, serviced
+	// requests are NOT recycled into the NewRequest freelist — the hook
+	// may retain the pointer.
 	TraceFn func(*Request)
 }
 
@@ -170,6 +178,19 @@ func NewController(cfg Config) *Controller {
 
 // Stats returns a snapshot of accumulated statistics.
 func (c *Controller) Stats() Stats { return c.stats }
+
+// NewRequest returns a zeroed Request, reusing a previously serviced one
+// when available. Callers that enqueue per-event requests in a hot loop
+// (the simulation engine) use this instead of allocating.
+func (c *Controller) NewRequest() *Request {
+	if n := len(c.free); n > 0 {
+		r := c.free[n-1]
+		c.free = c.free[:n-1]
+		*r = Request{}
+		return r
+	}
+	return &Request{}
+}
 
 // ResetStats zeroes the statistics counters without touching timing state
 // (used to discard warmup).
@@ -442,8 +463,10 @@ func (c *Controller) execute(r *Request) {
 	r.RowHit = rowHit
 	r.Serviced = true
 	if c.TraceFn != nil {
-		c.TraceFn(r)
+		c.TraceFn(r) // hook may retain r: do not recycle
+		return
 	}
+	c.free = append(c.free, r)
 }
 
 func maxU(a, b uint64) uint64 {

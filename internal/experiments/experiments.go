@@ -24,6 +24,11 @@ type Options struct {
 	Warmup  float64
 	Verbose bool
 
+	// Serial forces the single-goroutine engine for every simulated run;
+	// the default is the sharded per-channel parallel engine, which
+	// produces bit-identical reports (see docs/PERFORMANCE.md).
+	Serial bool
+
 	// SampleEvery enables windowed time-series sampling inside every
 	// simulated run: one metrics sample per N trace records (zero
 	// disables). Reports then carry a Series, and JSON artifacts include
@@ -60,30 +65,43 @@ func (o Options) warmup() float64 {
 	return o.Warmup
 }
 
-// traceCache memoises generated traces per (abbr, length) within one
-// process so multi-prefetcher experiments reuse identical inputs. It is
-// mutex-guarded because sweeps run apps concurrently.
-type traceCache struct {
-	mu sync.Mutex
-	m  map[string]trace.Trace
+// traceKey identifies one memoised trace: comparable struct keys avoid the
+// fmt.Sprintf allocation the previous string key paid on every lookup.
+type traceKey struct {
+	Abbr string
+	N    int
 }
 
-var traces = traceCache{m: map[string]trace.Trace{}}
+// traceCache memoises generated traces per (abbr, length) within one
+// process so multi-prefetcher experiments reuse identical inputs. The
+// read/write lock keeps concurrent sweep readers from serialising on the
+// hit path.
+type traceCache struct {
+	mu sync.RWMutex
+	m  map[traceKey]trace.Trace
+}
+
+var traces = traceCache{m: map[traceKey]trace.Trace{}}
 
 // TraceFor returns the deterministic trace of an app at the given length.
 func TraceFor(p workloads.Profile, n int) trace.Trace {
-	key := fmt.Sprintf("%s/%d", p.Abbr, n)
-	traces.mu.Lock()
+	key := traceKey{Abbr: p.Abbr, N: n}
+	traces.mu.RLock()
 	t, ok := traces.m[key]
-	traces.mu.Unlock()
+	traces.mu.RUnlock()
 	if ok {
 		return t
 	}
-	t = p.Generate(n)
+	gen := p.Generate(n)
 	traces.mu.Lock()
-	traces.m[key] = t
-	traces.mu.Unlock()
-	return t
+	defer traces.mu.Unlock()
+	if t, ok := traces.m[key]; ok {
+		// A concurrent generator won the race; keep the first copy so
+		// every caller shares one backing array.
+		return t
+	}
+	traces.m[key] = gen
+	return gen
 }
 
 // runWarm drives a trace through an engine with the options' warmup window
@@ -101,6 +119,7 @@ func RunOne(p workloads.Profile, pf string, opts Options) (metrics.Report, error
 	cfg := sim.DefaultConfig()
 	cfg.NewPrefetcher = factory
 	cfg.SampleEvery = opts.SampleEvery
+	cfg.ParallelChannels = !opts.Serial
 	eng := sim.New(cfg)
 	return runWarm(eng, TraceFor(p, opts.requests()), p.Abbr, opts)
 }

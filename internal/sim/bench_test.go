@@ -9,9 +9,12 @@ import (
 // benchEngine drives one pre-generated trace through a fresh engine per
 // iteration; sampling cadence 0 is the baseline the observability layer
 // must not slow down (the disabled path is a single nil check per step).
-func benchEngine(b *testing.B, sampleEvery uint64) {
+// allocs/op is reported so the hot-path allocation diet is guarded too
+// (BENCH_baseline.json pins the expected numbers; see docs/PERFORMANCE.md).
+func benchEngine(b *testing.B, sampleEvery uint64, parallel bool) {
 	p := workloads.Catalog()[0]
 	tr := p.Generate(100_000)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		cfg := DefaultConfig()
@@ -21,6 +24,7 @@ func benchEngine(b *testing.B, sampleEvery uint64) {
 		}
 		cfg.NewPrefetcher = factory
 		cfg.SampleEvery = sampleEvery
+		cfg.ParallelChannels = parallel
 		eng := New(cfg)
 		if _, err := eng.Run(tr, p.Abbr); err != nil {
 			b.Fatal(err)
@@ -29,9 +33,18 @@ func benchEngine(b *testing.B, sampleEvery uint64) {
 	b.ReportMetric(float64(len(tr)*b.N)/b.Elapsed().Seconds(), "req/s")
 }
 
-// BenchmarkEngineStep is the sampling-disabled baseline.
-func BenchmarkEngineStep(b *testing.B) { benchEngine(b, 0) }
+// BenchmarkEngineStep is the sampling-disabled serial baseline (the name
+// predates the sharded mode and is kept so req/s history stays comparable).
+func BenchmarkEngineStep(b *testing.B) { benchEngine(b, 0, false) }
 
-// BenchmarkEngineStepSampled measures the same run with a 10k-request
+// BenchmarkEngineStepParallel is the same run on the sharded engine: four
+// goroutines, one per channel, no barriers (sampling is off).
+func BenchmarkEngineStepParallel(b *testing.B) { benchEngine(b, 0, true) }
+
+// BenchmarkEngineStepSampled measures the serial run with a 10k-request
 // sampling cadence, bounding the cost of enabled observability.
-func BenchmarkEngineStepSampled(b *testing.B) { benchEngine(b, 10_000) }
+func BenchmarkEngineStepSampled(b *testing.B) { benchEngine(b, 10_000, false) }
+
+// BenchmarkEngineStepParallelSampled adds the barrier cost: the sharded
+// engine synchronises all channels at every window boundary.
+func BenchmarkEngineStepParallelSampled(b *testing.B) { benchEngine(b, 10_000, true) }

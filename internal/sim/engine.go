@@ -45,6 +45,16 @@ type Config struct {
 	// the paper's power-constrained setting.
 	ThrottleOutstanding int
 
+	// ParallelChannels runs Run/RunWarm with one goroutine per DRAM
+	// channel. The paper's system is four independent SC slices — each
+	// trace record touches exactly one channel's cache, prefetcher, queue
+	// and controller — so the trace is partitioned once by channel and
+	// the per-channel streams execute concurrently. Reports are
+	// bit-identical to the serial engine (see docs/PERFORMANCE.md for the
+	// determinism/merge contract). DefaultConfig enables it; Step always
+	// runs serially.
+	ParallelChannels bool
+
 	// SampleEvery closes a metrics time-series window every N trace
 	// records; SampleEveryCycles closes one whenever the trace clock has
 	// advanced by at least N cycles since the last window boundary.
@@ -56,16 +66,18 @@ type Config struct {
 }
 
 // DefaultConfig returns the paper's system: 4 × 1 MB 16-way SC slices,
-// Table 1 LPDDR4 timing, 30-cycle SC hit latency.
+// Table 1 LPDDR4 timing, 30-cycle SC hit latency, parallel per-channel
+// execution.
 func DefaultConfig() Config {
 	return Config{
-		Cache:           cache.DefaultConfig(),
-		DRAM:            dram.DefaultConfig(),
-		SCHitLatency:    30,
-		NewPrefetcher:   func(int) prefetch.Prefetcher { return prefetch.None{} },
-		MaxPerTrigger:   16,
-		QueueCapacity:   64,
-		PrefetchLatency: 110,
+		Cache:            cache.DefaultConfig(),
+		DRAM:             dram.DefaultConfig(),
+		SCHitLatency:     30,
+		NewPrefetcher:    func(int) prefetch.Prefetcher { return prefetch.None{} },
+		MaxPerTrigger:    16,
+		QueueCapacity:    64,
+		PrefetchLatency:  110,
+		ParallelChannels: true,
 	}
 }
 
@@ -117,16 +129,34 @@ func PrefetcherNames() []string {
 	}
 }
 
+// channelState is the complete state of one channel's memory-system slice.
+// Channels share nothing (the config pointer is read-only), which is what
+// makes the sharded parallel mode safe: each instance is driven by exactly
+// one goroutine at a time.
 type channelState struct {
+	cfg   *Config
 	cache *cache.Cache
 	dram  *dram.Controller
 	pf    prefetch.Prefetcher
 	queue *prefetch.Queue
 
+	// tracker is pf's origin interface, resolved once at construction so
+	// the hot path pays no type assertion.
+	tracker originTracker
+
 	// In-flight prefetches, FIFO by readiness (constant latency).
-	pending     []pendingFill
-	pendingSet  map[addr.BlockNum]int // block → index of live entry (offset by pendingBase)
-	pendingBase int                   // count of already-dequeued entries
+	pending pendingRing
+
+	// Origin interning: sub-prefetcher names ("slp", "tlp") are mapped to
+	// small dense ids once, and the hot path deals only in ids —
+	// usefulOrigin is indexed by id, and the id of a resident prefetched
+	// line rides in the cache line itself (cache.FillOrigin), so there is
+	// no per-block side map to maintain.
+	originIDs    map[string]uint8
+	originNames  []string // id → name; index 0 is the empty origin
+	usefulOrigin []uint64 // useful-prefetch counts by origin id
+	lastOrigin   string   // memoised last interned name (origins repeat)
+	lastOriginID uint8
 
 	metaEvents uint64 // prefetcher table touches for the power model
 	scEvents   uint64 // SC lookups + fills
@@ -138,20 +168,7 @@ type channelState struct {
 	demandWrites uint64
 	lastCycle    uint64
 
-	// Per-origin useful-prefetch attribution: origin of resident,
-	// not-yet-used prefetched lines, and the per-origin useful counts.
-	lineOrigin   map[addr.BlockNum]string
-	usefulOrigin map[string]uint64
-
 	statsFrom uint64 // cycle of the last ResetStats (wall-clock baseline)
-}
-
-type pendingFill struct {
-	block    addr.BlockNum
-	ready    uint64
-	usedLate bool   // a demand already waited on this fill
-	dead     bool   // superseded (e.g. demand write filled the line first)
-	origin   string // issuing sub-prefetcher ("" when unknown)
 }
 
 // originTracker is implemented by composite prefetchers (Planaria) that can
@@ -160,7 +177,9 @@ type originTracker interface {
 	Origin() string
 }
 
-// Engine is one simulation instance. Not safe for concurrent use.
+// Engine is one simulation instance. Not safe for concurrent use by
+// callers; with Config.ParallelChannels set, Run and RunWarm internally
+// drive the four channel slices from one goroutine each.
 type Engine struct {
 	cfg      Config
 	channels [addr.Channels]*channelState
@@ -198,15 +217,18 @@ func New(cfg Config) *Engine {
 		ccfg := cfg.Cache
 		ccfg.Seed += int64(ch)
 		pf := cfg.NewPrefetcher(ch)
-		e.channels[ch] = &channelState{
+		cs := &channelState{
+			cfg:          &e.cfg,
 			cache:        cache.New(ccfg),
 			dram:         dram.NewController(cfg.DRAM),
 			pf:           pf,
 			queue:        prefetch.NewQueue(cfg.QueueCapacity),
-			pendingSet:   make(map[addr.BlockNum]int),
-			lineOrigin:   make(map[addr.BlockNum]string),
-			usefulOrigin: make(map[string]uint64),
+			originIDs:    make(map[string]uint8),
+			originNames:  []string{""},
+			usefulOrigin: []uint64{0},
 		}
+		cs.tracker, _ = pf.(originTracker)
+		e.channels[ch] = cs
 		if ch == 0 {
 			e.pfName = pf.Name()
 		}
@@ -242,7 +264,9 @@ func (e *Engine) ResetStats() {
 		cs.lateHits = 0
 		cs.demandReads = 0
 		cs.demandWrites = 0
-		cs.usefulOrigin = make(map[string]uint64)
+		for i := range cs.usefulOrigin {
+			cs.usefulOrigin[i] = 0
+		}
 		cs.statsFrom = cs.lastCycle
 	}
 	e.requests = 0
@@ -257,36 +281,43 @@ func (e *Engine) ResetStats() {
 	}
 }
 
-func (cs *channelState) getReq() *dram.Request { return &dram.Request{} }
-
-// noteEvict clears the origin record of an evicted, never-used prefetched
-// line.
-func (cs *channelState) noteEvict(ev cache.EvictInfo) {
-	if ev.Valid && ev.Prefetched {
-		delete(cs.lineOrigin, ev.Block)
+// internOrigin maps a sub-prefetcher name to its per-channel dense id,
+// growing the id space on first sight. Id 0 is the empty origin; an
+// (implausible) 256th distinct origin degrades to untracked.
+func (cs *channelState) internOrigin(name string) uint8 {
+	if name == "" {
+		return 0
 	}
+	if name == cs.lastOrigin {
+		return cs.lastOriginID
+	}
+	id, ok := cs.originIDs[name]
+	if !ok {
+		if len(cs.originNames) > 255 {
+			return 0
+		}
+		id = uint8(len(cs.originNames))
+		cs.originNames = append(cs.originNames, name)
+		cs.usefulOrigin = append(cs.usefulOrigin, 0)
+		cs.originIDs[name] = id
+	}
+	cs.lastOrigin, cs.lastOriginID = name, id
+	return id
 }
 
 // commitPending lands every in-flight prefetch whose latency has elapsed.
-func (e *Engine) commitPending(cs *channelState, now uint64) error {
-	for len(cs.pending) > 0 && cs.pending[0].ready <= now {
-		p := cs.pending[0]
-		cs.pending = cs.pending[1:]
-		cs.pendingBase++
-		delete(cs.pendingSet, p.block)
+func (cs *channelState) commitPending(now uint64) error {
+	for cs.pending.size() > 0 && cs.pending.front().ready <= now {
+		p := *cs.pending.front()
+		cs.pending.pop()
 		// A fill whose demand already waited on it arrives "pre-used":
 		// the usefulness credit was given as a late hit.
-		ev := cs.cache.Fill(p.block, !p.usedLate, false)
-		cs.noteEvict(ev)
-		if err := e.writeback(cs, ev, now); err != nil {
+		ev := cs.cache.FillOrigin(p.block, !p.usedLate, false, p.origin)
+		if err := cs.writeback(ev, now); err != nil {
 			return err
 		}
-		if p.origin != "" {
-			if p.usedLate {
-				cs.usefulOrigin[p.origin]++
-			} else {
-				cs.lineOrigin[p.block] = p.origin
-			}
+		if p.origin != 0 && p.usedLate {
+			cs.usefulOrigin[p.origin]++
 		}
 		cs.queue.Complete(p.block)
 		cs.scEvents++
@@ -294,38 +325,27 @@ func (e *Engine) commitPending(cs *channelState, now uint64) error {
 	return nil
 }
 
-// latePending returns the live in-flight prefetch entry for blk, if any.
-func (cs *channelState) latePending(blk addr.BlockNum) *pendingFill {
-	if i, ok := cs.pendingSet[blk]; ok {
-		if pos := i - cs.pendingBase; pos >= 0 && pos < len(cs.pending) {
-			return &cs.pending[pos]
-		}
-	}
-	return nil
-}
-
-// Step processes one trace record.
-func (e *Engine) Step(rec trace.Record) error {
+// step processes one trace record belonging to this channel. It touches no
+// engine-global state, which is the invariant the parallel mode rests on.
+func (cs *channelState) step(rec trace.Record) error {
 	blk := rec.Block()
-	cs := e.channels[blk.Channel()]
 	if rec.Cycle > cs.lastCycle {
 		cs.lastCycle = rec.Cycle
 	}
-	if err := e.commitPending(cs, rec.Cycle); err != nil {
+	if err := cs.commitPending(rec.Cycle); err != nil {
 		return err
 	}
 	cs.scEvents++
 
-	hit, firstUse := cs.cache.AccessInfo(blk, rec.Write)
-	if firstUse {
-		if origin, ok := cs.lineOrigin[blk]; ok {
-			cs.usefulOrigin[origin]++
-			delete(cs.lineOrigin, blk)
-		}
+	hit, firstUse, originID := cs.cache.AccessOrigin(blk, rec.Write)
+	if firstUse && originID != 0 {
+		cs.usefulOrigin[originID]++
 	}
+	// late stays valid only until the next pending push; every use below
+	// happens before the issuing phase appends.
 	var late *pendingFill
 	if !hit {
-		late = cs.latePending(blk)
+		late = cs.pending.find(blk)
 	}
 	if rec.Write {
 		cs.demandWrites++
@@ -333,11 +353,11 @@ func (e *Engine) Step(rec trace.Record) error {
 		cs.demandReads++
 		switch {
 		case hit:
-			cs.hitLatency += e.cfg.SCHitLatency
+			cs.hitLatency += cs.cfg.SCHitLatency
 		case late != nil:
 			// Late prefetch: wait out the remaining fill time.
 			cs.lateHits++
-			cs.lateLatency += e.cfg.SCHitLatency + (late.ready - rec.Cycle)
+			cs.lateLatency += cs.cfg.SCHitLatency + (late.ready - rec.Cycle)
 		}
 	}
 
@@ -348,17 +368,16 @@ func (e *Engine) Step(rec trace.Record) error {
 	if !hit && late == nil {
 		// Demand fill from DRAM (write misses are write-allocate
 		// fetches: same priority, excluded from read AMAT).
-		req := cs.getReq()
+		req := cs.dram.NewRequest()
 		req.Block = blk
 		req.Write = false
 		req.WriteAlloc = rec.Write
-		req.Arrival = rec.Cycle + e.cfg.SCHitLatency
+		req.Arrival = rec.Cycle + cs.cfg.SCHitLatency
 		if err := cs.dram.Enqueue(req); err != nil {
 			return err
 		}
 		ev := cs.cache.Fill(blk, false, rec.Write)
-		cs.noteEvict(ev)
-		if err := e.writeback(cs, ev, rec.Cycle); err != nil {
+		if err := cs.writeback(ev, rec.Cycle); err != nil {
 			return err
 		}
 		cs.scEvents++
@@ -369,8 +388,7 @@ func (e *Engine) Step(rec trace.Record) error {
 			// The write needs the line now; the in-flight fill merges
 			// into it harmlessly when it lands.
 			ev := cs.cache.Fill(blk, false, true)
-			cs.noteEvict(ev)
-			if err := e.writeback(cs, ev, rec.Cycle); err != nil {
+			if err := cs.writeback(ev, rec.Cycle); err != nil {
 				return err
 			}
 			cs.scEvents++
@@ -379,11 +397,11 @@ func (e *Engine) Step(rec trace.Record) error {
 
 	// Issuing phase.
 	cands := cs.pf.Issue(a)
-	origin := ""
-	if ot, ok := cs.pf.(originTracker); ok && len(cands) > 0 {
-		origin = ot.Origin()
-	}
+	var originID2 uint8
 	if len(cands) > 0 {
+		if cs.tracker != nil {
+			originID2 = cs.internOrigin(cs.tracker.Origin())
+		}
 		cs.metaEvents++
 	}
 	issued := 0
@@ -395,11 +413,11 @@ func (e *Engine) Step(rec trace.Record) error {
 			cs.queue.Reject()
 			continue
 		}
-		if issued >= e.cfg.MaxPerTrigger {
+		if issued >= cs.cfg.MaxPerTrigger {
 			cs.queue.Reject() // insert bandwidth exhausted this trigger
 			continue
 		}
-		if n := e.cfg.ThrottleOutstanding; n > 0 && len(cs.pending)+issued >= n {
+		if n := cs.cfg.ThrottleOutstanding; n > 0 && cs.pending.size()+issued >= n {
 			cs.queue.Reject() // outstanding-prefetch throttle engaged
 			continue
 		}
@@ -414,21 +432,55 @@ func (e *Engine) Step(rec trace.Record) error {
 		if !ok {
 			break
 		}
-		req := cs.getReq()
+		req := cs.dram.NewRequest()
 		req.Block = c
 		req.Prefetch = true
-		req.Arrival = rec.Cycle + e.cfg.SCHitLatency
+		req.Arrival = rec.Cycle + cs.cfg.SCHitLatency
 		if err := cs.dram.Enqueue(req); err != nil {
 			return err
 		}
-		cs.pendingSet[c] = cs.pendingBase + len(cs.pending)
-		cs.pending = append(cs.pending, pendingFill{
+		cs.pending.push(pendingFill{
 			block:  c,
-			ready:  rec.Cycle + e.cfg.PrefetchLatency,
-			origin: origin,
+			ready:  rec.Cycle + cs.cfg.PrefetchLatency,
+			origin: originID2,
 		})
 	}
+	return nil
+}
 
+// writeback enqueues the dirty victim of a fill, if any.
+func (cs *channelState) writeback(ev cache.EvictInfo, cycle uint64) error {
+	if !ev.Valid || !ev.Dirty {
+		return nil
+	}
+	req := cs.dram.NewRequest()
+	req.Block = ev.Block
+	req.Write = true
+	req.Arrival = cycle + cs.cfg.SCHitLatency
+	return cs.dram.Enqueue(req)
+}
+
+// addUsefulByOrigin folds this channel's per-id useful counts into a
+// by-name map, allocating the map only when a count exists.
+func (cs *channelState) addUsefulByOrigin(dst map[string]uint64) map[string]uint64 {
+	for id, n := range cs.usefulOrigin {
+		if id == 0 || n == 0 {
+			continue
+		}
+		if dst == nil {
+			dst = make(map[string]uint64)
+		}
+		dst[cs.originNames[id]] += n
+	}
+	return dst
+}
+
+// Step processes one trace record (the incremental, always-serial API).
+func (e *Engine) Step(rec trace.Record) error {
+	cs := e.channels[rec.Block().Channel()]
+	if err := cs.step(rec); err != nil {
+		return err
+	}
 	if e.sampler != nil {
 		e.requests++
 		if e.sampler.Due(e.requests, rec.Cycle) {
@@ -460,30 +512,22 @@ func (e *Engine) snapshot(cycle uint64) metrics.Snapshot {
 		s.ReadLatency += cs.hitLatency + cs.lateLatency +
 			dstats.DemandReads*e.cfg.SCHitLatency +
 			dstats.TotalDemandReadLat
-		for o, n := range cs.usefulOrigin {
-			if s.UsefulByOrigin == nil {
-				s.UsefulByOrigin = make(map[string]uint64)
-			}
-			s.UsefulByOrigin[o] += n
-		}
+		s.UsefulByOrigin = cs.addUsefulByOrigin(s.UsefulByOrigin)
 	}
 	return s
 }
 
-// writeback enqueues the dirty victim of a fill, if any.
-func (e *Engine) writeback(cs *channelState, ev cache.EvictInfo, cycle uint64) error {
-	if !ev.Valid || !ev.Dirty {
-		return nil
-	}
-	req := cs.getReq()
-	req.Block = ev.Block
-	req.Write = true
-	req.Arrival = cycle + e.cfg.SCHitLatency
-	return cs.dram.Enqueue(req)
-}
-
-// Run processes a whole trace and returns the aggregated report.
+// Run processes a whole trace and returns the aggregated report. With
+// Config.ParallelChannels set, the trace is partitioned by channel and the
+// per-channel streams run concurrently; the report is bit-identical to a
+// serial run.
 func (e *Engine) Run(t trace.Trace, workload string) (metrics.Report, error) {
+	if e.parallelOK() {
+		if err := e.runParallel(t); err != nil {
+			return metrics.Report{}, err
+		}
+		return e.Finish(workload), nil
+	}
 	for _, rec := range t {
 		if err := e.Step(rec); err != nil {
 			return metrics.Report{}, err
@@ -504,6 +548,16 @@ func (e *Engine) RunWarm(t trace.Trace, workload string, warmup float64) (metric
 		warmup = 0.9
 	}
 	w := int(float64(len(t)) * warmup)
+	if e.parallelOK() {
+		if err := e.runParallel(t[:w]); err != nil {
+			return metrics.Report{}, err
+		}
+		e.ResetStats()
+		if err := e.runParallel(t[w:]); err != nil {
+			return metrics.Report{}, err
+		}
+		return e.Finish(workload), nil
+	}
 	for _, rec := range t[:w] {
 		if err := e.Step(rec); err != nil {
 			return metrics.Report{}, err
@@ -530,7 +584,7 @@ func (e *Engine) Finish(workload string) metrics.Report {
 	var totalReadLat, cycles, lastEnd uint64
 	for _, cs := range e.channels {
 		// Land any still-in-flight prefetches so accounting is complete.
-		_ = e.commitPending(cs, ^uint64(0))
+		_ = cs.commitPending(^uint64(0))
 		cs.dram.Flush()
 		cstats := cs.cache.Stats()
 		dstats := cs.dram.Stats()
@@ -550,9 +604,7 @@ func (e *Engine) Finish(workload string) metrics.Report {
 			dstats.DemandReads*e.cfg.SCHitLatency +
 			dstats.TotalDemandReadLat
 		rep.LatePrefetchHits += cs.lateHits
-		for origin, n := range cs.usefulOrigin {
-			rep.UsefulByOrigin[origin] += n
-		}
+		rep.UsefulByOrigin = cs.addUsefulByOrigin(rep.UsefulByOrigin)
 		end := cs.lastCycle
 		if dstats.LastDone > end {
 			end = dstats.LastDone

@@ -1,0 +1,172 @@
+package sim
+
+// This file implements the sharded parallel execution mode: the paper's
+// system is four independent SC slices, one per LPDDR4 channel, and every
+// trace record touches exactly one channel's cache, prefetcher, queue and
+// DRAM controller. The engine therefore partitions the trace once by
+// addr.Channel and drives each channel's record stream from its own
+// goroutine.
+//
+// Determinism contract (see docs/PERFORMANCE.md): per-channel state after
+// processing a channel's records up to global trace position i is identical
+// to the serial engine's state at position i, because channels share
+// nothing. The only cross-channel coupling is the metrics sampler, whose
+// window boundaries depend on the global record stream — so boundaries are
+// precomputed from the trace alone (planWindows mirrors metrics.Sampler.Due
+// exactly), and all channels barrier at each boundary before the merged
+// snapshot is taken. Reports are bit-identical to serial runs.
+
+import (
+	"sync"
+
+	"repro/internal/addr"
+	"repro/internal/trace"
+)
+
+// parallelOK reports whether Run/RunWarm should use the sharded mode.
+func (e *Engine) parallelOK() bool {
+	return e.cfg.ParallelChannels && addr.Channels > 1
+}
+
+// channelSplit is a trace partitioned by channel: recs[ch] holds channel
+// ch's records in trace order, idx[ch] the matching global trace positions
+// (used to attribute an error to the earliest failing record, as the serial
+// engine would).
+type channelSplit struct {
+	recs [addr.Channels][]trace.Record
+	idx  [addr.Channels][]int32
+}
+
+// splitTrace partitions a trace by channel in two passes (exact counts
+// first, so the copies allocate once).
+func splitTrace(t trace.Trace) *channelSplit {
+	var counts [addr.Channels]int
+	for _, rec := range t {
+		counts[rec.Block().Channel()]++
+	}
+	s := &channelSplit{}
+	for ch := range s.recs {
+		s.recs[ch] = make([]trace.Record, 0, counts[ch])
+		s.idx[ch] = make([]int32, 0, counts[ch])
+	}
+	for i, rec := range t {
+		ch := rec.Block().Channel()
+		s.recs[ch] = append(s.recs[ch], rec)
+		s.idx[ch] = append(s.idx[ch], int32(i))
+	}
+	return s
+}
+
+// parWindow is one precomputed sampler window boundary: the per-channel
+// record counts to process before the barrier, plus the cycle and global
+// request count of the boundary record (the snapshot coordinates).
+type parWindow struct {
+	end      [addr.Channels]int // exclusive per-channel record counts
+	cycle    uint64
+	requests uint64
+}
+
+// planWindows replays the sampler's Due cadence over the trace without
+// simulating anything: a window closes at exactly the records the serial
+// engine's post-step Due check fires on. The scan starts from the live
+// sampler base so a Run issued mid-window continues that window.
+func (e *Engine) planWindows(t trace.Trace) []parWindow {
+	everyReq, everyCyc := e.cfg.SampleEvery, e.cfg.SampleEveryCycles
+	baseReq, baseCyc := e.sampler.Base()
+	req := e.requests
+	var wins []parWindow
+	var counts [addr.Channels]int
+	for _, rec := range t {
+		counts[rec.Block().Channel()]++
+		req++
+		if (everyReq > 0 && req-baseReq >= everyReq) ||
+			(everyCyc > 0 && rec.Cycle-baseCyc >= everyCyc) {
+			wins = append(wins, parWindow{end: counts, cycle: rec.Cycle, requests: req})
+			baseReq, baseCyc = req, rec.Cycle
+		}
+	}
+	return wins
+}
+
+// runSegment advances every channel from its from-count to its to-count
+// concurrently and waits for all of them. On failure it returns the error
+// of the earliest failing record in global trace order, matching the error
+// the serial engine would surface.
+func (e *Engine) runSegment(s *channelSplit, from, to [addr.Channels]int) error {
+	type chanErr struct {
+		err    error
+		global int32
+	}
+	var (
+		wg   sync.WaitGroup
+		errs [addr.Channels]chanErr // each goroutine writes only its slot
+	)
+	for ch := 0; ch < addr.Channels; ch++ {
+		if from[ch] == to[ch] {
+			continue
+		}
+		wg.Add(1)
+		go func(ch int) {
+			defer wg.Done()
+			cs := e.channels[ch]
+			recs := s.recs[ch][from[ch]:to[ch]]
+			for k := range recs {
+				if err := cs.step(recs[k]); err != nil {
+					errs[ch] = chanErr{err: err, global: s.idx[ch][from[ch]+k]}
+					return
+				}
+			}
+		}(ch)
+	}
+	wg.Wait()
+	first := -1
+	for ch := range errs {
+		if errs[ch].err != nil && (first < 0 || errs[ch].global < errs[first].global) {
+			first = ch
+		}
+	}
+	if first >= 0 {
+		return errs[first].err
+	}
+	return nil
+}
+
+// runParallel drives a whole trace through the sharded engine. Without
+// sampling there are no barriers at all: the four channels run free from
+// start to finish. With sampling, the channels barrier at every precomputed
+// window boundary so the merged snapshot observes exactly the state the
+// serial engine would have had there.
+func (e *Engine) runParallel(t trace.Trace) error {
+	if len(t) == 0 {
+		return nil
+	}
+	s := splitTrace(t)
+	var pos [addr.Channels]int
+	if e.sampler != nil {
+		for _, w := range e.planWindows(t) {
+			if err := e.runSegment(s, pos, w.end); err != nil {
+				return err
+			}
+			e.requests = w.requests
+			e.sampler.Record(e.snapshot(w.cycle))
+			pos = w.end
+		}
+	}
+	var end [addr.Channels]int
+	for ch := range end {
+		end[ch] = len(s.recs[ch])
+	}
+	if err := e.runSegment(s, pos, end); err != nil {
+		return err
+	}
+	if e.sampler != nil {
+		// Mirror the serial engine's per-step request counter; the final
+		// (partial) window closes in Finish.
+		var reqs uint64
+		for ch := range end {
+			reqs += uint64(end[ch] - pos[ch])
+		}
+		e.requests += reqs
+	}
+	return nil
+}
