@@ -1,0 +1,192 @@
+// Command benchguard compares `go test -bench` output against the pinned
+// reference numbers in BENCH_baseline.json and fails (exit 1) on regression:
+// more than 10 % lower req/s or more than 15 % more allocs/op by default.
+// CI runs it after the bench job so performance regressions fail the build
+// instead of silently accumulating (see docs/PERFORMANCE.md).
+//
+// Usage:
+//
+//	go test -bench=EngineStep -benchmem -count=5 -run='^$' ./internal/sim/ | tee bench.txt
+//	go run ./cmd/benchguard -bench bench.txt -baseline BENCH_baseline.json
+//
+// Benchmarks present in the baseline but missing from the bench output are
+// reported and fail the run (a silently-skipped guard is no guard);
+// benchmarks in the output but not in the baseline are informational only.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+type baselineEntry struct {
+	ReqPerS     float64 `json:"req_per_s"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+}
+
+type baseline struct {
+	Benchmarks map[string]baselineEntry `json:"benchmarks"`
+}
+
+// result is one benchmark's medians across -count runs.
+type result struct {
+	ReqPerS     float64
+	AllocsPerOp float64
+	samples     int
+}
+
+func main() {
+	benchPath := flag.String("bench", "bench.txt", "captured `go test -bench` output")
+	basePath := flag.String("baseline", "BENCH_baseline.json", "pinned reference numbers")
+	maxSlowdown := flag.Float64("max-slowdown", 0.10, "fail when req/s drops below baseline by more than this fraction")
+	maxAllocGrowth := flag.Float64("max-alloc-growth", 0.15, "fail when allocs/op exceeds baseline by more than this fraction")
+	flag.Parse()
+
+	base, err := readBaseline(*basePath)
+	if err != nil {
+		fatal(err)
+	}
+	f, err := os.Open(*benchPath)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	results, err := parseBench(f)
+	if err != nil {
+		fatal(err)
+	}
+
+	var failures []string
+	names := make([]string, 0, len(base.Benchmarks))
+	for name := range base.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		want := base.Benchmarks[name]
+		got, ok := results[name]
+		if !ok {
+			failures = append(failures, fmt.Sprintf("%s: missing from bench output", name))
+			continue
+		}
+		status := "ok"
+		if want.ReqPerS > 0 && got.ReqPerS < want.ReqPerS*(1-*maxSlowdown) {
+			failures = append(failures, fmt.Sprintf("%s: req/s %.0f is %.1f%% below baseline %.0f (limit %.0f%%)",
+				name, got.ReqPerS, 100*(1-got.ReqPerS/want.ReqPerS), want.ReqPerS, 100**maxSlowdown))
+			status = "FAIL"
+		}
+		if want.AllocsPerOp > 0 && got.AllocsPerOp > want.AllocsPerOp*(1+*maxAllocGrowth) {
+			failures = append(failures, fmt.Sprintf("%s: allocs/op %.0f is %.1f%% above baseline %.0f (limit %.0f%%)",
+				name, got.AllocsPerOp, 100*(got.AllocsPerOp/want.AllocsPerOp-1), want.AllocsPerOp, 100**maxAllocGrowth))
+			status = "FAIL"
+		}
+		fmt.Printf("%-30s req/s %12.0f (base %12.0f)  allocs/op %8.0f (base %8.0f)  n=%d  %s\n",
+			name, got.ReqPerS, want.ReqPerS, got.AllocsPerOp, want.AllocsPerOp, got.samples, status)
+	}
+	for name, got := range results {
+		if _, ok := base.Benchmarks[name]; !ok {
+			fmt.Printf("%-30s req/s %12.0f                      allocs/op %8.0f            n=%d  (no baseline)\n",
+				name, got.ReqPerS, got.AllocsPerOp, got.samples)
+		}
+	}
+
+	if len(failures) > 0 {
+		fmt.Fprintf(os.Stderr, "\nbenchguard: %d regression(s):\n", len(failures))
+		for _, f := range failures {
+			fmt.Fprintln(os.Stderr, "  "+f)
+		}
+		os.Exit(1)
+	}
+	fmt.Println("benchguard: all benchmarks within tolerance")
+}
+
+func readBaseline(path string) (baseline, error) {
+	var b baseline
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return b, err
+	}
+	if err := json.Unmarshal(data, &b); err != nil {
+		return b, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(b.Benchmarks) == 0 {
+		return b, fmt.Errorf("%s: no benchmarks pinned", path)
+	}
+	return b, nil
+}
+
+// parseBench extracts per-benchmark medians from `go test -bench` output.
+// Each line is "BenchmarkName-P  N  <value unit>...": the GOMAXPROCS suffix
+// and the Benchmark prefix are stripped so names match the baseline keys,
+// and repeated lines (-count) are reduced by median per metric.
+func parseBench(r interface{ Read([]byte) (int, error) }) (map[string]result, error) {
+	type samples struct{ req, allocs []float64 }
+	acc := map[string]*samples{}
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := strings.TrimPrefix(fields[0], "Benchmark")
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		s := acc[name]
+		if s == nil {
+			s = &samples{}
+			acc[name] = s
+		}
+		// fields[1] is the iteration count; after it come value/unit pairs.
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad value %q in line %q", fields[i], sc.Text())
+			}
+			switch fields[i+1] {
+			case "req/s":
+				s.req = append(s.req, v)
+			case "allocs/op":
+				s.allocs = append(s.allocs, v)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	out := make(map[string]result, len(acc))
+	for name, s := range acc {
+		out[name] = result{ReqPerS: median(s.req), AllocsPerOp: median(s.allocs), samples: len(s.req)}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no benchmark lines found")
+	}
+	return out, nil
+}
+
+func median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if n := len(s); n%2 == 1 {
+		return s[n/2]
+	} else {
+		return (s[n/2-1] + s[n/2]) / 2
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchguard:", err)
+	os.Exit(1)
+}

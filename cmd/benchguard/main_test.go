@@ -1,0 +1,59 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const benchOut = `goos: linux
+goarch: amd64
+pkg: repro/internal/sim
+BenchmarkEngineStep-4        	      30	  45108086 ns/op	   2200000 req/s	 4315856 B/op	   15200 allocs/op
+BenchmarkEngineStep-4        	      30	  45108086 ns/op	   2400000 req/s	 4315856 B/op	   15300 allocs/op
+BenchmarkEngineStep-4        	      30	  45108086 ns/op	   2300000 req/s	 4315856 B/op	   15100 allocs/op
+BenchmarkEngineStepParallel-4	      28	  41000000 ns/op	   2500000 req/s	 7151137 B/op	   15219 allocs/op
+PASS
+ok  	repro/internal/sim	10.0s
+`
+
+func TestParseBenchMedians(t *testing.T) {
+	res, err := parseBench(strings.NewReader(benchOut))
+	if err != nil {
+		t.Fatal(err)
+	}
+	step, ok := res["EngineStep"]
+	if !ok {
+		t.Fatalf("EngineStep missing (got %v)", res)
+	}
+	if step.ReqPerS != 2300000 {
+		t.Errorf("median req/s = %v, want 2300000", step.ReqPerS)
+	}
+	if step.AllocsPerOp != 15200 {
+		t.Errorf("median allocs/op = %v, want 15200", step.AllocsPerOp)
+	}
+	if step.samples != 3 {
+		t.Errorf("samples = %d, want 3", step.samples)
+	}
+	par := res["EngineStepParallel"]
+	if par.ReqPerS != 2500000 || par.samples != 1 {
+		t.Errorf("EngineStepParallel = %+v", par)
+	}
+}
+
+func TestParseBenchEmpty(t *testing.T) {
+	if _, err := parseBench(strings.NewReader("PASS\n")); err == nil {
+		t.Fatal("empty bench output accepted")
+	}
+}
+
+func TestMedian(t *testing.T) {
+	if m := median([]float64{3, 1, 2}); m != 2 {
+		t.Errorf("odd median = %v", m)
+	}
+	if m := median([]float64{4, 1, 2, 3}); m != 2.5 {
+		t.Errorf("even median = %v", m)
+	}
+	if m := median(nil); m != 0 {
+		t.Errorf("empty median = %v", m)
+	}
+}

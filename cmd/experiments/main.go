@@ -31,6 +31,7 @@ func main() {
 	n := flag.Int("n", 800_000, "requests per application trace")
 	warmup := flag.Float64("warmup", 0.2, "fraction of each trace run before statistics start (0 < w < 0.9; negative disables)")
 	parallel := flag.Bool("parallel", true, "run each simulation's channel slices concurrently (-parallel=false forces the serial engine)")
+	stream := flag.Bool("stream", true, "stream records to each engine in O(chunk) memory (bit-identical reports; -stream=false materializes traces)")
 	run := flag.String("run", "all", "experiment id (all, fig2, fig4, fig5, fig7, fig8, fig9, fig9b, fig10, tab-ipc, tab-traffic, tab-storage, cache-study, abl-coord, abl-dist, abl-pt, csv)")
 	jsonPath := flag.String("json", "", "write a combined JSON run artifact to this path")
 	artifactDir := flag.String("artifact-dir", "", "write one JSON artifact per (app, prefetcher) sweep cell into this directory")
@@ -65,6 +66,7 @@ func main() {
 		SampleEvery: *sampleEvery,
 		ArtifactDir: *artifactDir,
 		Serial:      !*parallel,
+		NoStream:    !*stream,
 	}
 	w := os.Stdout
 

@@ -33,6 +33,7 @@ func main() {
 	verbose := flag.Bool("v", false, "print detailed DRAM/cache counters")
 	warmup := flag.Float64("warmup", 0, "fraction of the trace run before statistics start (0 disables)")
 	parallel := flag.Bool("parallel", true, "run the four channel slices concurrently (bit-identical reports; -parallel=false forces the serial engine)")
+	stream := flag.Bool("stream", true, "stream records to the engine in O(chunk) memory instead of materializing the trace (bit-identical reports; -stream=false materializes)")
 	jsonPath := flag.String("json", "", "write a JSON run artifact (manifest + report + time series) to this path")
 	sampleEvery := flag.Uint64("sample-every", 0, "emit a windowed time-series sample every N requests (0 disables)")
 	sampleCycles := flag.Uint64("sample-cycles", 0, "emit a windowed time-series sample every N trace cycles (0 disables)")
@@ -40,10 +41,14 @@ func main() {
 	memprofile := flag.String("memprofile", "", "write a heap profile (runtime/pprof) to this path")
 	flag.Parse()
 
+	// Build the record stream: from a binary trace file (never materialized
+	// when -stream; the file's size declares the record count so warmup
+	// fractions still work) or from the seeded workload generator.
 	var (
-		t    trace.Trace
-		name string
-		seed int64
+		s       trace.Stream
+		name    string
+		seed    int64
+		records int
 	)
 	if *traceFile != "" {
 		f, err := os.Open(*traceFile)
@@ -51,17 +56,36 @@ func main() {
 			fatal(err)
 		}
 		defer f.Close()
-		tt, err := trace.ReadAllFrom(f)
-		if err != nil {
-			fatal(err)
+		name = *traceFile
+		if *stream {
+			rs := trace.NewReader(f).Stream()
+			fi, err := f.Stat()
+			if err != nil {
+				fatal(err)
+			}
+			if rc := trace.RecordCount(fi.Size()); rc >= 0 {
+				rs.WithLen(rc)
+				records = rc
+			}
+			s = rs
+		} else {
+			tt, err := trace.ReadAllFrom(f)
+			if err != nil {
+				fatal(err)
+			}
+			s, records = tt.Stream(), len(tt)
 		}
-		t, name = tt, *traceFile
 	} else {
 		p, ok := workloads.ByAbbr(*app)
 		if !ok {
 			fatal(fmt.Errorf("unknown app %q (have %v)", *app, workloads.Abbrs()))
 		}
-		t, name, seed = p.Generate(*n), p.Abbr, p.Seed
+		name, seed, records = p.Abbr, p.Seed, *n
+		if *stream {
+			s = p.Stream(*n)
+		} else {
+			s = p.Generate(*n).Stream()
+		}
 	}
 
 	factory, err := sim.NamedPrefetcher(*pf)
@@ -85,13 +109,13 @@ func main() {
 
 	man := obs.NewManifest("planaria-sim")
 	man.Workload, man.Prefetcher = name, eng.PrefetcherName()
-	man.TraceLen, man.Requests = len(t), len(t)
+	man.TraceLen, man.Requests = records, records
 	man.Warmup = *warmup
 	man.SampleEvery = *sampleEvery
 	man.Seed = seed
 	start := time.Now()
 
-	rep, err := eng.RunWarm(t, name, *warmup)
+	rep, err := eng.RunWarmStream(s, name, *warmup)
 	if err != nil {
 		fatal(err)
 	}

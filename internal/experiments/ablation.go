@@ -17,8 +17,7 @@ func RunOneWith(p workloads.Profile, factory func(int) prefetch.Prefetcher, opts
 	cfg := sim.DefaultConfig()
 	cfg.NewPrefetcher = factory
 	cfg.SampleEvery = opts.SampleEvery
-	eng := sim.New(cfg)
-	return runWarm(eng, TraceFor(p, opts.requests()), p.Abbr, opts)
+	return runProfile(sim.New(cfg), p, opts)
 }
 
 // AblationCoordinator compares the three coordination strategies of

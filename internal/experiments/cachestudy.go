@@ -58,8 +58,7 @@ func CacheStudy(w io.Writer, opts Options, variants []CacheVariant) (map[string]
 			cfg.Cache.SizeBytes = v.SizeBytes
 			cfg.Cache.Policy = v.Policy
 			cfg.NewPrefetcher = factory
-			eng := sim.New(cfg)
-			rep, err := runWarm(eng, TraceFor(p, opts.requests()), p.Abbr, opts)
+			rep, err := runProfile(sim.New(cfg), p, opts)
 			if err != nil {
 				return nil, err
 			}

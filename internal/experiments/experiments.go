@@ -11,7 +11,6 @@ import (
 	"repro/internal/analysis"
 	"repro/internal/metrics"
 	"repro/internal/sim"
-	"repro/internal/trace"
 	"repro/internal/workloads"
 )
 
@@ -28,6 +27,12 @@ type Options struct {
 	// the default is the sharded per-channel parallel engine, which
 	// produces bit-identical reports (see docs/PERFORMANCE.md).
 	Serial bool
+
+	// NoStream materializes each trace in memory (via the byte-capped
+	// TraceFor cache) before running it, instead of the default O(chunk)
+	// streaming from the generator. Reports are bit-identical either way;
+	// the switch exists for debugging and A/B benchmarking.
+	NoStream bool
 
 	// SampleEvery enables windowed time-series sampling inside every
 	// simulated run: one metrics sample per N trace records (zero
@@ -65,49 +70,17 @@ func (o Options) warmup() float64 {
 	return o.Warmup
 }
 
-// traceKey identifies one memoised trace: comparable struct keys avoid the
-// fmt.Sprintf allocation the previous string key paid on every lookup.
-type traceKey struct {
-	Abbr string
-	N    int
-}
-
-// traceCache memoises generated traces per (abbr, length) within one
-// process so multi-prefetcher experiments reuse identical inputs. The
-// read/write lock keeps concurrent sweep readers from serialising on the
-// hit path.
-type traceCache struct {
-	mu sync.RWMutex
-	m  map[traceKey]trace.Trace
-}
-
-var traces = traceCache{m: map[traceKey]trace.Trace{}}
-
-// TraceFor returns the deterministic trace of an app at the given length.
-func TraceFor(p workloads.Profile, n int) trace.Trace {
-	key := traceKey{Abbr: p.Abbr, N: n}
-	traces.mu.RLock()
-	t, ok := traces.m[key]
-	traces.mu.RUnlock()
-	if ok {
-		return t
+// runProfile drives one app through an engine with the options' warmup
+// window discarded from the statistics. By default the records stream
+// straight from the workload generator — O(chunk) memory regardless of
+// opts.Requests — and the report is bit-identical to a materialized
+// RunWarm (pinned by the sim equivalence tests). NoStream materializes
+// through the byte-capped TraceFor cache instead.
+func runProfile(eng *sim.Engine, p workloads.Profile, opts Options) (metrics.Report, error) {
+	if opts.NoStream {
+		return eng.RunWarm(TraceFor(p, opts.requests()), p.Abbr, opts.warmup())
 	}
-	gen := p.Generate(n)
-	traces.mu.Lock()
-	defer traces.mu.Unlock()
-	if t, ok := traces.m[key]; ok {
-		// A concurrent generator won the race; keep the first copy so
-		// every caller shares one backing array.
-		return t
-	}
-	traces.m[key] = gen
-	return gen
-}
-
-// runWarm drives a trace through an engine with the options' warmup window
-// discarded from the statistics.
-func runWarm(eng *sim.Engine, t trace.Trace, name string, opts Options) (metrics.Report, error) {
-	return eng.RunWarm(t, name, opts.warmup())
+	return eng.RunWarmStream(p.Stream(opts.requests()), p.Abbr, opts.warmup())
 }
 
 // RunOne simulates one app trace under one named prefetcher.
@@ -120,8 +93,7 @@ func RunOne(p workloads.Profile, pf string, opts Options) (metrics.Report, error
 	cfg.NewPrefetcher = factory
 	cfg.SampleEvery = opts.SampleEvery
 	cfg.ParallelChannels = !opts.Serial
-	eng := sim.New(cfg)
-	return runWarm(eng, TraceFor(p, opts.requests()), p.Abbr, opts)
+	return runProfile(sim.New(cfg), p, opts)
 }
 
 // Sweep runs every catalog app under every named prefetcher. Runs are
@@ -134,9 +106,14 @@ func Sweep(prefetchers []string, opts Options) (map[string]map[string]metrics.Re
 	}
 	var jobs []job
 	for _, p := range workloads.Catalog() {
-		// Generate each trace once up front (the per-trace cache is
-		// shared; generating inside workers would duplicate work).
-		TraceFor(p, opts.requests())
+		if opts.NoStream {
+			// Materialized mode: generate each trace once up front (the
+			// per-trace cache is shared; generating inside workers would
+			// duplicate work). Streaming runs regenerate per worker —
+			// generation is a fraction of simulation cost, and skipping
+			// the cache keeps sweep memory independent of trace length.
+			TraceFor(p, opts.requests())
+		}
 		for _, pf := range prefetchers {
 			jobs = append(jobs, job{app: p, pf: pf})
 		}

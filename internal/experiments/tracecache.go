@@ -1,0 +1,142 @@
+package experiments
+
+// This file bounds the per-process trace memoisation. Simulated *runs*
+// stream their records straight from the workload generator (O(1) memory;
+// see docs/PERFORMANCE.md), so the cache now serves only the trace-shape
+// analyses (Fig. 2/4/5) and callers that explicitly materialize — and it is
+// byte-capped so long sweeps at mixed lengths cannot grow memory without
+// limit. Eviction is largest-idle first: the entry costing the most bytes
+// among those not in active use goes first, with older last-use breaking
+// ties. Generation stays single-flight per key: concurrent callers of the
+// same (app, length) share one generator run and one backing array.
+
+import (
+	"sync"
+	"unsafe"
+
+	"repro/internal/trace"
+	"repro/internal/workloads"
+)
+
+// TraceCacheBytes caps the memoised-trace cache. 128 MiB holds a handful of
+// default-scale (800k-record, ~19 MB) traces — enough for the analysis
+// figures to reuse traces within a run — while bounding worst-case sweep
+// memory. The most recently used entry is never evicted, so a single trace
+// larger than the cap still memoises (and is evicted by the next insert).
+var TraceCacheBytes int64 = 128 << 20
+
+// traceKey identifies one memoised trace: comparable struct keys avoid the
+// fmt.Sprintf allocation a string key would pay on every lookup.
+type traceKey struct {
+	Abbr string
+	N    int
+}
+
+type cacheEntry struct {
+	t       trace.Trace
+	bytes   int64
+	lastUse uint64 // logical clock of the most recent TraceFor hit
+}
+
+// inflight is one single-flight generation: latecomers wait on done and
+// read t.
+type inflight struct {
+	done chan struct{}
+	t    trace.Trace
+}
+
+type traceCache struct {
+	mu      sync.Mutex
+	entries map[traceKey]*cacheEntry
+	gen     map[traceKey]*inflight
+	size    int64
+	clock   uint64
+}
+
+var traces = traceCache{
+	entries: map[traceKey]*cacheEntry{},
+	gen:     map[traceKey]*inflight{},
+}
+
+func traceBytes(t trace.Trace) int64 {
+	return int64(len(t)) * int64(unsafe.Sizeof(trace.Record{}))
+}
+
+// TraceFor returns the deterministic trace of an app at the given length,
+// memoised under the byte cap.
+func TraceFor(p workloads.Profile, n int) trace.Trace {
+	key := traceKey{Abbr: p.Abbr, N: n}
+	traces.mu.Lock()
+	if e, ok := traces.entries[key]; ok {
+		traces.clock++
+		e.lastUse = traces.clock
+		traces.mu.Unlock()
+		return e.t
+	}
+	if f, ok := traces.gen[key]; ok {
+		// Another goroutine is generating this trace; share its result.
+		traces.mu.Unlock()
+		<-f.done
+		return f.t
+	}
+	f := &inflight{done: make(chan struct{})}
+	traces.gen[key] = f
+	traces.mu.Unlock()
+
+	f.t = p.Generate(n)
+
+	traces.mu.Lock()
+	delete(traces.gen, key)
+	traces.insert(key, f.t)
+	traces.mu.Unlock()
+	close(f.done)
+	return f.t
+}
+
+// insert stores a freshly generated trace and evicts largest-idle-first
+// until the cache fits the cap again. Called with mu held.
+func (c *traceCache) insert(key traceKey, t trace.Trace) {
+	c.clock++
+	e := &cacheEntry{t: t, bytes: traceBytes(t), lastUse: c.clock}
+	c.entries[key] = e
+	c.size += e.bytes
+	for c.size > TraceCacheBytes && len(c.entries) > 1 {
+		var victimKey traceKey
+		var victim *cacheEntry
+		var newest uint64
+		for _, ce := range c.entries {
+			if ce.lastUse > newest {
+				newest = ce.lastUse
+			}
+		}
+		for k, ce := range c.entries {
+			if ce.lastUse == newest {
+				continue // never evict the most recently used entry
+			}
+			if victim == nil || ce.bytes > victim.bytes ||
+				(ce.bytes == victim.bytes && ce.lastUse < victim.lastUse) {
+				victimKey, victim = k, ce
+			}
+		}
+		if victim == nil {
+			return
+		}
+		delete(c.entries, victimKey)
+		c.size -= victim.bytes
+	}
+}
+
+// traceCacheStats reports the live entry count and byte total (test hook).
+func traceCacheStats() (entries int, bytes int64) {
+	traces.mu.Lock()
+	defer traces.mu.Unlock()
+	return len(traces.entries), traces.size
+}
+
+// resetTraceCache drops every memoised trace (test hook).
+func resetTraceCache() {
+	traces.mu.Lock()
+	defer traces.mu.Unlock()
+	traces.entries = map[traceKey]*cacheEntry{}
+	traces.size = 0
+}

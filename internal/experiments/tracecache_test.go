@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/trace"
+	"repro/internal/workloads"
+)
+
+// withCacheCap runs f under a temporary cache cap and a clean cache, restoring
+// both afterwards so other tests see the default configuration.
+func withCacheCap(t *testing.T, cap int64, f func()) {
+	t.Helper()
+	old := TraceCacheBytes
+	TraceCacheBytes = cap
+	resetTraceCache()
+	defer func() {
+		TraceCacheBytes = old
+		resetTraceCache()
+	}()
+	f()
+}
+
+// TestTraceCacheEviction: inserts beyond the byte cap evict largest-idle
+// first, the most recently used entry survives, and the byte accounting
+// matches the live entries.
+func TestTraceCacheEviction(t *testing.T) {
+	apps := workloads.Catalog()
+	recBytes := traceBytes(apps[0].Generate(1))
+	// Cap fits one 3000-record trace plus one 1000-record trace, not more.
+	withCacheCap(t, 4100*recBytes, func() {
+		TraceFor(apps[0], 3000) // large
+		TraceFor(apps[1], 1000) // small, most recent
+		if n, b := traceCacheStats(); n != 2 || b != 4000*recBytes {
+			t.Fatalf("after 2 inserts: %d entries, %d bytes", n, b)
+		}
+		// A second large insert overflows the cap. The largest idle entry
+		// (apps[0]/3000) must go; the new insert is most recent and the
+		// small entry fits alongside it.
+		TraceFor(apps[2], 3000)
+		n, b := traceCacheStats()
+		if n != 2 || b != 4000*recBytes {
+			t.Fatalf("after eviction: %d entries, %d bytes", n, b)
+		}
+		// The small entry survived: a hit must not regenerate (same backing
+		// array ⇒ same first-element address).
+		small := TraceFor(apps[1], 1000)
+		small2 := TraceFor(apps[1], 1000)
+		if &small[0] != &small2[0] {
+			t.Fatal("surviving entry was regenerated on hit")
+		}
+	})
+}
+
+// TestTraceCacheOversized: a single trace larger than the cap still memoises
+// (the most recent entry is never evicted), so repeated calls within one
+// figure share a backing array instead of regenerating.
+func TestTraceCacheOversized(t *testing.T) {
+	p := workloads.Catalog()[0]
+	withCacheCap(t, 10, func() {
+		a := TraceFor(p, 2000)
+		b := TraceFor(p, 2000)
+		if &a[0] != &b[0] {
+			t.Fatal("oversized entry was not retained")
+		}
+		if n, _ := traceCacheStats(); n != 1 {
+			t.Fatalf("oversized cache holds %d entries, want 1", n)
+		}
+	})
+}
+
+// TestTraceCacheSingleFlight: concurrent first requests for the same key
+// share one generator run and one backing array.
+func TestTraceCacheSingleFlight(t *testing.T) {
+	p := workloads.Catalog()[2]
+	withCacheCap(t, TraceCacheBytes, func() {
+		const goroutines = 8
+		ptrs := make([]*trace.Record, goroutines)
+		var wg sync.WaitGroup
+		for i := 0; i < goroutines; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				tr := TraceFor(p, 5000)
+				ptrs[i] = &tr[0]
+			}(i)
+		}
+		wg.Wait()
+		for i := 1; i < goroutines; i++ {
+			if ptrs[i] != ptrs[0] {
+				t.Fatalf("goroutine %d got a different backing array", i)
+			}
+		}
+	})
+}

@@ -48,3 +48,36 @@ func BenchmarkEngineStepSampled(b *testing.B) { benchEngine(b, 10_000, false) }
 // BenchmarkEngineStepParallelSampled adds the barrier cost: the sharded
 // engine synchronises all channels at every window boundary.
 func BenchmarkEngineStepParallelSampled(b *testing.B) { benchEngine(b, 10_000, true) }
+
+// benchEngineStream is the streaming pipeline end to end: records flow from
+// the workload generator through RunStream without ever materializing the
+// trace, so each iteration pays generation + simulation (the slice
+// benchmarks above pre-generate outside the timer). This is the number the
+// O(chunk)-memory mode trades against BenchmarkEngineStep.
+func benchEngineStream(b *testing.B, parallel bool) {
+	p := workloads.Catalog()[0]
+	const n = 100_000
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg := DefaultConfig()
+		factory, err := NamedPrefetcher("planaria")
+		if err != nil {
+			b.Fatal(err)
+		}
+		cfg.NewPrefetcher = factory
+		cfg.ParallelChannels = parallel
+		eng := New(cfg)
+		if _, err := eng.RunStream(p.Stream(n), p.Abbr); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(n*b.N)/b.Elapsed().Seconds(), "req/s")
+}
+
+// BenchmarkEngineStepStream: serial engine fed by the generator stream.
+func BenchmarkEngineStepStream(b *testing.B) { benchEngineStream(b, false) }
+
+// BenchmarkEngineStepStreamParallel: the streaming splitter fanning chunks
+// to the four channel workers through bounded queues.
+func BenchmarkEngineStepStreamParallel(b *testing.B) { benchEngineStream(b, true) }

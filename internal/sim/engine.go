@@ -517,59 +517,22 @@ func (e *Engine) snapshot(cycle uint64) metrics.Snapshot {
 	return s
 }
 
-// Run processes a whole trace and returns the aggregated report. With
-// Config.ParallelChannels set, the trace is partitioned by channel and the
-// per-channel streams run concurrently; the report is bit-identical to a
+// Run processes a whole in-memory trace and returns the aggregated report.
+// It is a compatibility shim over RunStream on a slice-backed stream: with
+// Config.ParallelChannels set, chunks are fanned out to one goroutine per
+// channel as the splitter walks the slice; the report is bit-identical to a
 // serial run.
 func (e *Engine) Run(t trace.Trace, workload string) (metrics.Report, error) {
-	if e.parallelOK() {
-		if err := e.runParallel(t); err != nil {
-			return metrics.Report{}, err
-		}
-		return e.Finish(workload), nil
-	}
-	for _, rec := range t {
-		if err := e.Step(rec); err != nil {
-			return metrics.Report{}, err
-		}
-	}
-	return e.Finish(workload), nil
+	return e.RunStream(t.Stream(), workload)
 }
 
-// RunWarm processes a whole trace with the first warmup fraction of records
-// used only to warm caches and train prefetchers: statistics (and the
-// metrics sampler, when enabled) are reset at the boundary, so the report
-// covers the measured region alone. Fractions outside [0, 0.9] are clamped.
+// RunWarm processes a whole in-memory trace with the first warmup fraction
+// of records used only to warm caches and train prefetchers: statistics
+// (and the metrics sampler, when enabled) are reset at the boundary, so the
+// report covers the measured region alone. Fractions outside [0, 0.9] are
+// clamped. It is a compatibility shim over RunWarmStream.
 func (e *Engine) RunWarm(t trace.Trace, workload string, warmup float64) (metrics.Report, error) {
-	switch {
-	case warmup < 0 || warmup != warmup: // negative or NaN
-		warmup = 0
-	case warmup > 0.9:
-		warmup = 0.9
-	}
-	w := int(float64(len(t)) * warmup)
-	if e.parallelOK() {
-		if err := e.runParallel(t[:w]); err != nil {
-			return metrics.Report{}, err
-		}
-		e.ResetStats()
-		if err := e.runParallel(t[w:]); err != nil {
-			return metrics.Report{}, err
-		}
-		return e.Finish(workload), nil
-	}
-	for _, rec := range t[:w] {
-		if err := e.Step(rec); err != nil {
-			return metrics.Report{}, err
-		}
-	}
-	e.ResetStats()
-	for _, rec := range t[w:] {
-		if err := e.Step(rec); err != nil {
-			return metrics.Report{}, err
-		}
-	}
-	return e.Finish(workload), nil
+	return e.RunWarmStream(t.Stream(), workload, warmup)
 }
 
 // Finish flushes the DRAM controllers and builds the report.

@@ -3,18 +3,22 @@ package sim
 // This file implements the sharded parallel execution mode: the paper's
 // system is four independent SC slices, one per LPDDR4 channel, and every
 // trace record touches exactly one channel's cache, prefetcher, queue and
-// DRAM controller. The engine therefore partitions the trace once by
-// addr.Channel and drives each channel's record stream from its own
-// goroutine.
+// DRAM controller. The engine therefore runs one goroutine per channel and
+// feeds each its records through a bounded queue of chunks, fanned out by a
+// streaming splitter as the records arrive — no materialized per-channel
+// slices, so a parallel run needs O(chunk) memory per channel regardless of
+// trace length.
 //
 // Determinism contract (see docs/PERFORMANCE.md): per-channel state after
 // processing a channel's records up to global trace position i is identical
 // to the serial engine's state at position i, because channels share
 // nothing. The only cross-channel coupling is the metrics sampler, whose
-// window boundaries depend on the global record stream — so boundaries are
-// precomputed from the trace alone (planWindows mirrors metrics.Sampler.Due
-// exactly), and all channels barrier at each boundary before the merged
-// snapshot is taken. Reports are bit-identical to serial runs.
+// window boundaries depend on the global record stream — the splitter sees
+// that global order, so it plans boundaries on the fly by replaying
+// metrics.Sampler.Due's exact arithmetic (the same computation the retired
+// slice-based planWindows did up front), and all channels barrier at each
+// boundary before the merged snapshot is taken. Reports are bit-identical
+// to serial runs.
 
 import (
 	"sync"
@@ -28,97 +32,178 @@ func (e *Engine) parallelOK() bool {
 	return e.cfg.ParallelChannels && addr.Channels > 1
 }
 
-// channelSplit is a trace partitioned by channel: recs[ch] holds channel
-// ch's records in trace order, idx[ch] the matching global trace positions
-// (used to attribute an error to the earliest failing record, as the serial
-// engine would).
-type channelSplit struct {
-	recs [addr.Channels][]trace.Record
-	idx  [addr.Channels][]int32
+// parcelQueueDepth bounds each channel's queue of in-flight chunks. With
+// the building buffer and the chunk a worker is processing, a channel holds
+// at most parcelQueueDepth+2 chunks at once — the memory bound of the
+// parallel pipeline (≈ 6 × 96 KB per channel).
+const parcelQueueDepth = 4
+
+// parcelBuf is one recycled per-channel chunk: the records plus their
+// global trace positions (used to attribute an error to the earliest
+// failing record, as the serial engine would).
+type parcelBuf struct {
+	recs []trace.Record
+	idx  []int64
 }
 
-// splitTrace partitions a trace by channel in two passes (exact counts
-// first, so the copies allocate once).
-func splitTrace(t trace.Trace) *channelSplit {
-	var counts [addr.Channels]int
-	for _, rec := range t {
-		counts[rec.Block().Channel()]++
-	}
-	s := &channelSplit{}
-	for ch := range s.recs {
-		s.recs[ch] = make([]trace.Record, 0, counts[ch])
-		s.idx[ch] = make([]int32, 0, counts[ch])
-	}
-	for i, rec := range t {
-		ch := rec.Block().Channel()
-		s.recs[ch] = append(s.recs[ch], rec)
-		s.idx[ch] = append(s.idx[ch], int32(i))
-	}
-	return s
+// streamBarrier synchronises all channel workers with the splitter at a
+// sampler window (or warmup) boundary: workers signal arrival and park
+// until the splitter has taken its merged snapshot and closes resume.
+type streamBarrier struct {
+	arrived sync.WaitGroup
+	resume  chan struct{}
 }
 
-// parWindow is one precomputed sampler window boundary: the per-channel
-// record counts to process before the barrier, plus the cycle and global
-// request count of the boundary record (the snapshot coordinates).
-type parWindow struct {
-	end      [addr.Channels]int // exclusive per-channel record counts
-	cycle    uint64
-	requests uint64
+// parcel is one message on a channel worker's queue: either a chunk of
+// records or a barrier.
+type parcel struct {
+	buf     *parcelBuf
+	barrier *streamBarrier
 }
 
-// planWindows replays the sampler's Due cadence over the trace without
-// simulating anything: a window closes at exactly the records the serial
-// engine's post-step Due check fires on. The scan starts from the live
-// sampler base so a Run issued mid-window continues that window.
-func (e *Engine) planWindows(t trace.Trace) []parWindow {
-	everyReq, everyCyc := e.cfg.SampleEvery, e.cfg.SampleEveryCycles
-	baseReq, baseCyc := e.sampler.Base()
-	req := e.requests
-	var wins []parWindow
-	var counts [addr.Channels]int
-	for _, rec := range t {
-		counts[rec.Block().Channel()]++
-		req++
-		if (everyReq > 0 && req-baseReq >= everyReq) ||
-			(everyCyc > 0 && rec.Cycle-baseCyc >= everyCyc) {
-			wins = append(wins, parWindow{end: counts, cycle: rec.Cycle, requests: req})
-			baseReq, baseCyc = req, rec.Cycle
-		}
-	}
-	return wins
-}
-
-// runSegment advances every channel from its from-count to its to-count
-// concurrently and waits for all of them. On failure it returns the error
-// of the earliest failing record in global trace order, matching the error
-// the serial engine would surface.
-func (e *Engine) runSegment(s *channelSplit, from, to [addr.Channels]int) error {
+// runParallelStream drives a record stream through the sharded engine.
+// warmAt >= 0 resets statistics immediately before global record warmAt
+// (the warmup boundary); warmAt < 0 disables the reset. Without sampling
+// and warmup there are no barriers at all: the four channels run free from
+// start to finish behind the splitter.
+func (e *Engine) runParallelStream(s trace.Stream, warmAt int64) error {
 	type chanErr struct {
 		err    error
-		global int32
+		global int64
 	}
 	var (
-		wg   sync.WaitGroup
-		errs [addr.Channels]chanErr // each goroutine writes only its slot
+		queues  [addr.Channels]chan parcel
+		errs    [addr.Channels]chanErr // each worker writes only its slot
+		workers sync.WaitGroup
 	)
-	for ch := 0; ch < addr.Channels; ch++ {
-		if from[ch] == to[ch] {
-			continue
+	pool := sync.Pool{New: func() any {
+		return &parcelBuf{
+			recs: make([]trace.Record, 0, trace.ChunkSize),
+			idx:  make([]int64, 0, trace.ChunkSize),
 		}
-		wg.Add(1)
+	}}
+	for ch := 0; ch < addr.Channels; ch++ {
+		queues[ch] = make(chan parcel, parcelQueueDepth)
+		workers.Add(1)
 		go func(ch int) {
-			defer wg.Done()
+			defer workers.Done()
 			cs := e.channels[ch]
-			recs := s.recs[ch][from[ch]:to[ch]]
-			for k := range recs {
-				if err := cs.step(recs[k]); err != nil {
-					errs[ch] = chanErr{err: err, global: s.idx[ch][from[ch]+k]}
-					return
+			failed := false
+			for p := range queues[ch] {
+				if p.barrier != nil {
+					p.barrier.arrived.Done()
+					<-p.barrier.resume
+					continue
 				}
+				if !failed {
+					for k := range p.buf.recs {
+						if err := cs.step(p.buf.recs[k]); err != nil {
+							errs[ch] = chanErr{err: err, global: p.buf.idx[k]}
+							failed = true
+							break
+						}
+					}
+				}
+				p.buf.recs = p.buf.recs[:0]
+				p.buf.idx = p.buf.idx[:0]
+				pool.Put(p.buf)
 			}
 		}(ch)
 	}
-	wg.Wait()
+
+	var bufs [addr.Channels]*parcelBuf
+	for ch := range bufs {
+		bufs[ch] = pool.Get().(*parcelBuf)
+	}
+	flush := func(ch int) {
+		if len(bufs[ch].recs) == 0 {
+			return
+		}
+		queues[ch] <- parcel{buf: bufs[ch]}
+		bufs[ch] = pool.Get().(*parcelBuf)
+	}
+	// quiesce flushes every channel and parks all workers at a barrier;
+	// the returned function releases them. Between the two calls the
+	// splitter may read and mutate engine state freely: WaitGroup arrival
+	// orders every prior step before the snapshot, and resume orders the
+	// snapshot before every later step.
+	quiesce := func() func() {
+		b := &streamBarrier{resume: make(chan struct{})}
+		b.arrived.Add(addr.Channels)
+		for ch := 0; ch < addr.Channels; ch++ {
+			flush(ch)
+			queues[ch] <- parcel{barrier: b}
+		}
+		b.arrived.Wait()
+		return func() { close(b.resume) }
+	}
+
+	sampling := e.sampler != nil
+	everyReq, everyCyc := e.cfg.SampleEvery, e.cfg.SampleEveryCycles
+	var baseReq, baseCyc, req uint64
+	if sampling {
+		baseReq, baseCyc = e.sampler.Base()
+		req = e.requests
+	}
+
+	in := make([]trace.Record, trace.ChunkSize)
+	var global int64
+	for {
+		n := trace.ReadChunk(s, in)
+		if n == 0 {
+			break
+		}
+		for _, rec := range in[:n] {
+			if global == warmAt {
+				resume := quiesce()
+				e.ResetStats()
+				if sampling {
+					baseReq, baseCyc = e.sampler.Base()
+					req = e.requests
+				}
+				resume()
+			}
+			ch := rec.Block().Channel()
+			b := bufs[ch]
+			b.recs = append(b.recs, rec)
+			b.idx = append(b.idx, global)
+			if len(b.recs) == trace.ChunkSize {
+				flush(ch)
+			}
+			global++
+			if sampling {
+				req++
+				if (everyReq > 0 && req-baseReq >= everyReq) ||
+					(everyCyc > 0 && rec.Cycle-baseCyc >= everyCyc) {
+					resume := quiesce()
+					e.requests = req
+					e.sampler.Record(e.snapshot(rec.Cycle))
+					resume()
+					baseReq, baseCyc = req, rec.Cycle
+				}
+			}
+		}
+	}
+	if warmAt >= global {
+		// The whole (possibly empty) stream was warmup: the in-loop
+		// boundary never fired, but RunWarm semantics still reset.
+		resume := quiesce()
+		e.ResetStats()
+		if sampling {
+			req = e.requests
+		}
+		resume()
+	}
+	for ch := 0; ch < addr.Channels; ch++ {
+		flush(ch)
+		close(queues[ch])
+	}
+	workers.Wait()
+	if sampling {
+		// Mirror the serial engine's per-step request counter; the final
+		// (partial) window closes in Finish.
+		e.requests = req
+	}
 	first := -1
 	for ch := range errs {
 		if errs[ch].err != nil && (first < 0 || errs[ch].global < errs[first].global) {
@@ -128,45 +213,5 @@ func (e *Engine) runSegment(s *channelSplit, from, to [addr.Channels]int) error 
 	if first >= 0 {
 		return errs[first].err
 	}
-	return nil
-}
-
-// runParallel drives a whole trace through the sharded engine. Without
-// sampling there are no barriers at all: the four channels run free from
-// start to finish. With sampling, the channels barrier at every precomputed
-// window boundary so the merged snapshot observes exactly the state the
-// serial engine would have had there.
-func (e *Engine) runParallel(t trace.Trace) error {
-	if len(t) == 0 {
-		return nil
-	}
-	s := splitTrace(t)
-	var pos [addr.Channels]int
-	if e.sampler != nil {
-		for _, w := range e.planWindows(t) {
-			if err := e.runSegment(s, pos, w.end); err != nil {
-				return err
-			}
-			e.requests = w.requests
-			e.sampler.Record(e.snapshot(w.cycle))
-			pos = w.end
-		}
-	}
-	var end [addr.Channels]int
-	for ch := range end {
-		end[ch] = len(s.recs[ch])
-	}
-	if err := e.runSegment(s, pos, end); err != nil {
-		return err
-	}
-	if e.sampler != nil {
-		// Mirror the serial engine's per-step request counter; the final
-		// (partial) window closes in Finish.
-		var reqs uint64
-		for ch := range end {
-			reqs += uint64(end[ch] - pos[ch])
-		}
-		e.requests += reqs
-	}
-	return nil
+	return s.Err()
 }

@@ -1,0 +1,99 @@
+package sim
+
+// This file is the streaming face of the engine: RunStream and
+// RunWarmStream consume a trace.Stream with O(chunk) memory, so run length
+// is bounded by throughput, not RAM. Run and RunWarm survive as thin
+// compatibility shims over slice-backed streams; the record-processing code
+// is shared, so streamed and materialized runs are bit-identical (pinned by
+// internal/sim/stream_test.go).
+
+import (
+	"errors"
+
+	"repro/internal/metrics"
+	"repro/internal/trace"
+)
+
+// ErrUnsizedWarmup reports a warmup fraction applied to a stream of unknown
+// length: the engine cannot place the warmup boundary without a total
+// record count. Wrap the stream with a known length (trace.Sized — e.g.
+// ReaderStream.WithLen with trace.RecordCount of the file size) or run
+// without warmup.
+var ErrUnsizedWarmup = errors.New("sim: warmup fraction requires a sized stream (trace.Sized)")
+
+// RunStream processes a whole record stream and returns the aggregated
+// report. Memory use is O(chunk), independent of stream length. With
+// Config.ParallelChannels set, a streaming splitter fans chunks out to one
+// goroutine per channel as they arrive; the report is bit-identical to a
+// serial run, and to Run on the materialized trace.
+func (e *Engine) RunStream(s trace.Stream, workload string) (metrics.Report, error) {
+	if err := e.consumeStream(s, -1); err != nil {
+		return metrics.Report{}, err
+	}
+	return e.Finish(workload), nil
+}
+
+// RunWarmStream processes a stream with the first warmup fraction of
+// records used only to warm caches and train prefetchers: statistics (and
+// the metrics sampler, when enabled) are reset at the boundary, so the
+// report covers the measured region alone. Fractions outside [0, 0.9] are
+// clamped. A positive fraction needs a sized stream (ErrUnsizedWarmup
+// otherwise); slice and generator streams always know their length.
+func (e *Engine) RunWarmStream(s trace.Stream, workload string, warmup float64) (metrics.Report, error) {
+	warmup = clampWarmup(warmup)
+	var warmAt int64
+	if warmup > 0 {
+		n := trace.StreamLen(s)
+		if n < 0 {
+			return metrics.Report{}, ErrUnsizedWarmup
+		}
+		warmAt = int64(float64(n) * warmup)
+	}
+	if err := e.consumeStream(s, warmAt); err != nil {
+		return metrics.Report{}, err
+	}
+	return e.Finish(workload), nil
+}
+
+// clampWarmup maps a warmup fraction into [0, 0.9]; NaN and negatives
+// disable warmup.
+func clampWarmup(w float64) float64 {
+	switch {
+	case w < 0 || w != w: // negative or NaN
+		return 0
+	case w > 0.9:
+		return 0.9
+	}
+	return w
+}
+
+// consumeStream drives every record of s through the engine, resetting
+// statistics immediately before global record warmAt (warmAt < 0 disables
+// the reset; warmAt at or past the end of the stream resets after the last
+// record, matching RunWarm's t[:w] / reset / t[w:] split for every w).
+func (e *Engine) consumeStream(s trace.Stream, warmAt int64) error {
+	if e.parallelOK() {
+		return e.runParallelStream(s, warmAt)
+	}
+	buf := make([]trace.Record, trace.ChunkSize)
+	var global int64
+	for {
+		n := trace.ReadChunk(s, buf)
+		if n == 0 {
+			break
+		}
+		for _, rec := range buf[:n] {
+			if global == warmAt {
+				e.ResetStats()
+			}
+			if err := e.Step(rec); err != nil {
+				return err
+			}
+			global++
+		}
+	}
+	if warmAt >= global {
+		e.ResetStats()
+	}
+	return s.Err()
+}

@@ -39,6 +39,44 @@ func FuzzReadText(f *testing.F) {
 	})
 }
 
+// FuzzReader exercises the record-at-a-time binary decoder directly (the
+// streaming pipeline's file producer): on truncated or corrupt input,
+// Reader.Read must return an error — never panic, and never spin by
+// inventing records the input cannot hold. The corpus seeds a valid header
+// plus records and several corruptions of it.
+func FuzzReader(f *testing.F) {
+	var good bytes.Buffer
+	_ = WriteAll(&good, Trace{
+		{Addr: 0x1000, Cycle: 5, Device: GPU},
+		{Addr: 0x2040, Cycle: 9, Device: CPU3, Write: true},
+	})
+	f.Add(good.Bytes())
+	f.Add(good.Bytes()[:headerBytes])               // header only
+	f.Add(good.Bytes()[:headerBytes+recordBytes-3]) // mid-record cut
+	f.Add(append([]byte{}, good.Bytes()[1:]...))    // shifted magic
+	f.Add([]byte("PLTR\xff\x00\x00\x00"))           // bad version
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, in []byte) {
+		r := NewReader(bytes.NewReader(in))
+		// The input can hold at most this many whole records; one slack
+		// read allows the final EOF probe.
+		max := len(in)/recordBytes + 1
+		reads := 0
+		for {
+			_, err := r.Read()
+			if err != nil {
+				// io.EOF (clean end) or a decode error — both fine; a
+				// panic or an unbounded loop is the failure mode.
+				return
+			}
+			reads++
+			if reads > max {
+				t.Fatalf("reader produced %d records from %d bytes (spinning?)", reads, len(in))
+			}
+		}
+	})
+}
+
 // FuzzReadBinary: the binary reader must never panic on arbitrary bytes.
 func FuzzReadBinary(f *testing.F) {
 	var good bytes.Buffer

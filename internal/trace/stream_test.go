@@ -1,0 +1,146 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/addr"
+)
+
+func streamTrace(n int) Trace {
+	t := make(Trace, n)
+	for i := range t {
+		t[i] = Record{
+			Addr:   addr.Addr(0x40 * i * 3),
+			Cycle:  uint64(i * 7),
+			Device: Device(i % int(numDevices)),
+			Write:  i%5 == 0,
+		}
+	}
+	return t
+}
+
+// TestSliceStream: the slice-backed stream delivers exactly the backing
+// records, via both Next and chunked reads, and counts down Len.
+func TestSliceStream(t *testing.T) {
+	tr := streamTrace(100)
+	s := tr.Stream()
+	if s.Len() != 100 {
+		t.Fatalf("fresh Len = %d, want 100", s.Len())
+	}
+	var got Trace
+	buf := make([]Record, 7) // deliberately not a divisor of 100
+	for {
+		n := ReadChunk(s, buf)
+		if n == 0 {
+			break
+		}
+		got = append(got, buf[:n]...)
+	}
+	if len(got) != len(tr) {
+		t.Fatalf("stream delivered %d records, want %d", len(got), len(tr))
+	}
+	for i := range tr {
+		if got[i] != tr[i] {
+			t.Fatalf("record %d: %v != %v", i, got[i], tr[i])
+		}
+	}
+	if s.Len() != 0 {
+		t.Fatalf("drained Len = %d, want 0", s.Len())
+	}
+	if _, ok := s.Next(); ok {
+		t.Fatal("drained stream still yields records")
+	}
+	if s.Err() != nil {
+		t.Fatalf("slice stream reported error %v", s.Err())
+	}
+}
+
+// TestReaderStream: the binary-file stream round-trips a written trace
+// record-for-record without materializing it, and WithLen makes it Sized.
+func TestReaderStream(t *testing.T) {
+	tr := streamTrace(50)
+	var buf bytes.Buffer
+	if err := WriteAll(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	n := RecordCount(int64(buf.Len()))
+	if n != 50 {
+		t.Fatalf("RecordCount = %d, want 50", n)
+	}
+	s := NewReader(&buf).Stream()
+	if s.Len() != -1 {
+		t.Fatalf("undeclared Len = %d, want -1", s.Len())
+	}
+	s.WithLen(n)
+	if s.Len() != 50 {
+		t.Fatalf("declared Len = %d, want 50", s.Len())
+	}
+	for i := range tr {
+		rec, ok := s.Next()
+		if !ok {
+			t.Fatalf("stream ended early at %d: %v", i, s.Err())
+		}
+		if rec != tr[i] {
+			t.Fatalf("record %d: %v != %v", i, rec, tr[i])
+		}
+	}
+	if _, ok := s.Next(); ok {
+		t.Fatal("stream yields records past the end")
+	}
+	if s.Err() != nil {
+		t.Fatalf("clean EOF reported error %v", s.Err())
+	}
+}
+
+// TestReaderStreamTruncated: a mid-record cut terminates the stream with a
+// non-nil Err (clean EOF stays nil — previous test).
+func TestReaderStreamTruncated(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteAll(&buf, streamTrace(3)); err != nil {
+		t.Fatal(err)
+	}
+	cut := buf.Bytes()[:buf.Len()-5]
+	s := NewReader(bytes.NewReader(cut)).Stream()
+	n := 0
+	for {
+		if _, ok := s.Next(); !ok {
+			break
+		}
+		n++
+	}
+	if n != 2 {
+		t.Fatalf("truncated stream delivered %d records, want 2", n)
+	}
+	if s.Err() == nil {
+		t.Fatal("truncated stream reported no error")
+	}
+}
+
+// TestRecordCount rejects sizes that cannot be a whole header plus whole
+// records.
+func TestRecordCount(t *testing.T) {
+	for _, tc := range []struct {
+		size int64
+		want int
+	}{
+		{0, -1}, {7, -1}, {8, 0}, {8 + 18, 1}, {8 + 18*1000, 1000}, {8 + 17, -1}, {9, -1},
+	} {
+		if got := RecordCount(tc.size); got != tc.want {
+			t.Errorf("RecordCount(%d) = %d, want %d", tc.size, got, tc.want)
+		}
+	}
+}
+
+// TestStreamLen covers the Sized probe on all three producer kinds.
+func TestStreamLen(t *testing.T) {
+	tr := streamTrace(10)
+	if n := StreamLen(tr.Stream()); n != 10 {
+		t.Fatalf("slice StreamLen = %d", n)
+	}
+	var buf bytes.Buffer
+	_ = WriteAll(&buf, tr)
+	if n := StreamLen(NewReader(&buf).Stream()); n != -1 {
+		t.Fatalf("unsized reader StreamLen = %d, want -1", n)
+	}
+}

@@ -134,13 +134,17 @@ func Merge(a, b Trace) Trace {
 
 var magic = [4]byte{'P', 'L', 'T', 'R'}
 
-const binVersion = 1
+const (
+	binVersion  = 1
+	headerBytes = 8  // magic + version + reserved
+	recordBytes = 18 // addr + cycle + device + flags
+)
 
 // Writer streams records in the binary encoding.
 type Writer struct {
 	w     *bufio.Writer
 	wrote bool
-	buf   [18]byte
+	buf   [recordBytes]byte
 }
 
 // NewWriter creates a binary trace writer on w. The header is emitted lazily
@@ -190,7 +194,7 @@ func (w *Writer) Flush() error {
 type Reader struct {
 	r      *bufio.Reader
 	header bool
-	buf    [18]byte
+	buf    [recordBytes]byte
 }
 
 // NewReader creates a binary trace reader on r.

@@ -1,6 +1,10 @@
 package workloads
 
-import "testing"
+import (
+	"testing"
+
+	"repro/internal/trace"
+)
 
 // BenchmarkGenerate measures trace-generation throughput (records/op are
 // reported as ns/record via b.N records).
@@ -10,5 +14,22 @@ func BenchmarkGenerate(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		g.Next()
+	}
+}
+
+// BenchmarkGenerateStream measures the chunked stream producer the engine
+// consumes: ns/op is per record, and allocs/op must stay ~0 — the stream
+// writes into the caller's buffer, which is what keeps RunStream's memory
+// independent of trace length.
+func BenchmarkGenerateStream(b *testing.B) {
+	p, _ := ByAbbr("CFM")
+	buf := make([]trace.Record, trace.ChunkSize)
+	b.ReportAllocs()
+	b.ResetTimer()
+	s := p.Stream(b.N)
+	for {
+		if n := s.NextChunk(buf); n == 0 {
+			break
+		}
 	}
 }

@@ -483,3 +483,54 @@ func (g *Generator) Generate(n int) trace.Trace {
 func (p Profile) Generate(n int) trace.Trace {
 	return NewGenerator(p).Generate(n)
 }
+
+// TraceStream streams a generator's records through the trace.Stream
+// interface: synthetic traces feed the engine record-at-a-time in O(1)
+// memory, so run length is bounded by throughput, not RAM. Generation is
+// deterministic per profile seed, so streaming the same profile twice (or
+// streaming after materialising with Generate) yields identical records.
+type TraceStream struct {
+	g    *Generator
+	left int
+}
+
+// Stream returns a trace.Stream over the generator's next n records.
+func (g *Generator) Stream(n int) *TraceStream {
+	if n < 0 {
+		n = 0
+	}
+	return &TraceStream{g: g, left: n}
+}
+
+// Stream returns a trace.Stream over a fresh generator's first n records.
+func (p Profile) Stream(n int) *TraceStream {
+	return NewGenerator(p).Stream(n)
+}
+
+// Next implements trace.Stream.
+func (s *TraceStream) Next() (trace.Record, bool) {
+	if s.left <= 0 {
+		return trace.Record{}, false
+	}
+	s.left--
+	return s.g.Next(), true
+}
+
+// NextChunk implements trace.Chunker.
+func (s *TraceStream) NextChunk(dst []trace.Record) int {
+	n := len(dst)
+	if n > s.left {
+		n = s.left
+	}
+	for i := 0; i < n; i++ {
+		dst[i] = s.g.Next()
+	}
+	s.left -= n
+	return n
+}
+
+// Err implements trace.Stream; generation cannot fail.
+func (s *TraceStream) Err() error { return nil }
+
+// Len implements trace.Sized: records remaining.
+func (s *TraceStream) Len() int { return s.left }
