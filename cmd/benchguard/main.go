@@ -19,6 +19,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"sort"
 	"strconv"
@@ -63,7 +64,30 @@ func main() {
 		fatal(err)
 	}
 
-	var failures []string
+	lines, failures := compare(base, results, *maxSlowdown, *maxAllocGrowth)
+	for _, l := range lines {
+		fmt.Println(l)
+	}
+
+	if len(failures) > 0 {
+		fmt.Fprintf(os.Stderr, "\nbenchguard: %d regression(s):\n", len(failures))
+		for _, f := range failures {
+			fmt.Fprintln(os.Stderr, "  "+f)
+		}
+		os.Exit(1)
+	}
+	fmt.Println("benchguard: all benchmarks within tolerance")
+}
+
+// compare checks every pinned benchmark against the measured medians and
+// returns the human-readable report lines plus the list of failures. Zero
+// baselines get explicit semantics instead of vanishing into ratio
+// arithmetic: a 0 allocs/op baseline means "this path must stay
+// allocation-free", so any allocation at all fails (a relative threshold on
+// zero would either pass everything or divide to Inf/NaN); a 0 req/s
+// baseline cannot express a meaningful slowdown bound, so the benchmark is
+// reported as unpinned-for-throughput rather than silently passing.
+func compare(base baseline, results map[string]result, maxSlowdown, maxAllocGrowth float64) (lines, failures []string) {
 	names := make([]string, 0, len(base.Benchmarks))
 	for name := range base.Benchmarks {
 		names = append(names, name)
@@ -77,34 +101,48 @@ func main() {
 			continue
 		}
 		status := "ok"
-		if want.ReqPerS > 0 && got.ReqPerS < want.ReqPerS*(1-*maxSlowdown) {
+		switch {
+		case math.IsNaN(got.ReqPerS) || math.IsNaN(want.ReqPerS):
+			failures = append(failures, fmt.Sprintf("%s: req/s is NaN (measured %v, baseline %v)",
+				name, got.ReqPerS, want.ReqPerS))
+			status = "FAIL"
+		case want.ReqPerS == 0:
+			status = "no req/s pin"
+		case got.ReqPerS < want.ReqPerS*(1-maxSlowdown):
 			failures = append(failures, fmt.Sprintf("%s: req/s %.0f is %.1f%% below baseline %.0f (limit %.0f%%)",
-				name, got.ReqPerS, 100*(1-got.ReqPerS/want.ReqPerS), want.ReqPerS, 100**maxSlowdown))
+				name, got.ReqPerS, 100*(1-got.ReqPerS/want.ReqPerS), want.ReqPerS, 100*maxSlowdown))
 			status = "FAIL"
 		}
-		if want.AllocsPerOp > 0 && got.AllocsPerOp > want.AllocsPerOp*(1+*maxAllocGrowth) {
+		switch {
+		case math.IsNaN(got.AllocsPerOp) || math.IsNaN(want.AllocsPerOp):
+			failures = append(failures, fmt.Sprintf("%s: allocs/op is NaN (measured %v, baseline %v)",
+				name, got.AllocsPerOp, want.AllocsPerOp))
+			status = "FAIL"
+		case want.AllocsPerOp == 0 && got.AllocsPerOp > 0:
+			failures = append(failures, fmt.Sprintf("%s: allocs/op %.0f on a pinned allocation-free baseline",
+				name, got.AllocsPerOp))
+			status = "FAIL"
+		case want.AllocsPerOp > 0 && got.AllocsPerOp > want.AllocsPerOp*(1+maxAllocGrowth):
 			failures = append(failures, fmt.Sprintf("%s: allocs/op %.0f is %.1f%% above baseline %.0f (limit %.0f%%)",
-				name, got.AllocsPerOp, 100*(got.AllocsPerOp/want.AllocsPerOp-1), want.AllocsPerOp, 100**maxAllocGrowth))
+				name, got.AllocsPerOp, 100*(got.AllocsPerOp/want.AllocsPerOp-1), want.AllocsPerOp, 100*maxAllocGrowth))
 			status = "FAIL"
 		}
-		fmt.Printf("%-30s req/s %12.0f (base %12.0f)  allocs/op %8.0f (base %8.0f)  n=%d  %s\n",
-			name, got.ReqPerS, want.ReqPerS, got.AllocsPerOp, want.AllocsPerOp, got.samples, status)
+		lines = append(lines, fmt.Sprintf("%-30s req/s %12.0f (base %12.0f)  allocs/op %8.0f (base %8.0f)  n=%d  %s",
+			name, got.ReqPerS, want.ReqPerS, got.AllocsPerOp, want.AllocsPerOp, got.samples, status))
 	}
-	for name, got := range results {
+	extra := make([]string, 0, len(results))
+	for name := range results {
 		if _, ok := base.Benchmarks[name]; !ok {
-			fmt.Printf("%-30s req/s %12.0f                      allocs/op %8.0f            n=%d  (no baseline)\n",
-				name, got.ReqPerS, got.AllocsPerOp, got.samples)
+			extra = append(extra, name)
 		}
 	}
-
-	if len(failures) > 0 {
-		fmt.Fprintf(os.Stderr, "\nbenchguard: %d regression(s):\n", len(failures))
-		for _, f := range failures {
-			fmt.Fprintln(os.Stderr, "  "+f)
-		}
-		os.Exit(1)
+	sort.Strings(extra)
+	for _, name := range extra {
+		got := results[name]
+		lines = append(lines, fmt.Sprintf("%-30s req/s %12.0f                      allocs/op %8.0f            n=%d  (no baseline)",
+			name, got.ReqPerS, got.AllocsPerOp, got.samples))
 	}
-	fmt.Println("benchguard: all benchmarks within tolerance")
+	return lines, failures
 }
 
 func readBaseline(path string) (baseline, error) {

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"math"
 	"strings"
 	"testing"
 )
@@ -43,6 +44,70 @@ func TestParseBenchMedians(t *testing.T) {
 func TestParseBenchEmpty(t *testing.T) {
 	if _, err := parseBench(strings.NewReader("PASS\n")); err == nil {
 		t.Fatal("empty bench output accepted")
+	}
+}
+
+// TestCompareZeroBaselines: a pinned 0 allocs/op means allocation-free —
+// any measured allocation fails — and a 0 req/s pin is reported as
+// informational rather than silently passing through the ratio arithmetic.
+func TestCompareZeroBaselines(t *testing.T) {
+	base := baseline{Benchmarks: map[string]baselineEntry{
+		"HotPath": {ReqPerS: 0, AllocsPerOp: 0},
+	}}
+	results := map[string]result{
+		"HotPath": {ReqPerS: 100, AllocsPerOp: 3, samples: 1},
+	}
+	_, failures := compare(base, results, 0.10, 0.15)
+	if len(failures) != 1 {
+		t.Fatalf("failures = %v, want exactly the allocation-free violation", failures)
+	}
+	if !strings.Contains(failures[0], "allocation-free") {
+		t.Errorf("failure %q does not name the allocation-free pin", failures[0])
+	}
+
+	// Truly allocation-free output passes, and the zero req/s pin stays
+	// visible as unpinned instead of vanishing.
+	results["HotPath"] = result{ReqPerS: 100, AllocsPerOp: 0, samples: 1}
+	lines, failures := compare(base, results, 0.10, 0.15)
+	if len(failures) != 0 {
+		t.Fatalf("clean allocation-free run failed: %v", failures)
+	}
+	if len(lines) != 1 || !strings.Contains(lines[0], "no req/s pin") {
+		t.Errorf("lines = %v, want the zero req/s pin flagged as informational", lines)
+	}
+}
+
+// TestCompareRegression: the ordinary relative thresholds still fire.
+func TestCompareRegression(t *testing.T) {
+	base := baseline{Benchmarks: map[string]baselineEntry{
+		"EngineStep": {ReqPerS: 2_000_000, AllocsPerOp: 100},
+	}}
+	results := map[string]result{
+		"EngineStep": {ReqPerS: 1_500_000, AllocsPerOp: 130, samples: 3},
+	}
+	_, failures := compare(base, results, 0.10, 0.15)
+	if len(failures) != 2 {
+		t.Fatalf("failures = %v, want req/s and allocs/op regressions", failures)
+	}
+	if _, f := compare(base, map[string]result{}, 0.10, 0.15); len(f) != 1 || !strings.Contains(f[0], "missing") {
+		t.Errorf("missing benchmark not reported: %v", f)
+	}
+}
+
+// TestCompareNaN: NaN in either column is a hard failure, never a silent
+// pass (every comparison against NaN is false, so the threshold checks
+// alone would wave it through).
+func TestCompareNaN(t *testing.T) {
+	nan := math.NaN()
+	base := baseline{Benchmarks: map[string]baselineEntry{
+		"EngineStep": {ReqPerS: nan, AllocsPerOp: nan},
+	}}
+	results := map[string]result{
+		"EngineStep": {ReqPerS: 2_000_000, AllocsPerOp: 100, samples: 1},
+	}
+	_, failures := compare(base, results, 0.10, 0.15)
+	if len(failures) != 2 {
+		t.Fatalf("NaN baseline failures = %v, want both metrics flagged", failures)
 	}
 }
 

@@ -156,24 +156,33 @@ func main() {
 	default:
 		err = fmt.Errorf("unknown experiment %q", *run)
 	}
-	if err != nil {
-		fail(err)
-	}
-
+	// A failed run still writes the artifact when one was requested: the
+	// sweep functions hand back the cells that completed, and the manifest
+	// records the failure — a degraded run leaves evidence, not nothing
+	// (docs/OBSERVABILITY.md, "Failure model"). The exit status reports
+	// the failure either way.
+	man.RecordFailure(err, nil)
 	if *jsonPath != "" {
 		man.WallTimeSec = time.Since(start).Seconds()
 		art := obs.Artifact{Manifest: man}
 		if len(summary) > 0 {
 			art.Summary = summary
 		}
-		if reps != nil {
+		if len(reps) > 0 {
 			art.Cells = experiments.Cells(reps)
 		}
-		if err := obs.WriteFile(*jsonPath, art); err != nil {
-			fail(err)
+		if werr := obs.WriteFile(*jsonPath, art); werr != nil {
+			fail(werr)
 		}
-		fmt.Fprintf(w, "wrote %s (%d cells, %d summary values)\n",
-			*jsonPath, len(art.Cells), len(art.Summary))
+		partial := ""
+		if err != nil {
+			partial = "partial, "
+		}
+		fmt.Fprintf(w, "wrote %s (%s%d cells, %d summary values)\n",
+			*jsonPath, partial, len(art.Cells), len(art.Summary))
+	}
+	if err != nil {
+		fail(err)
 	}
 	if *memprofile != "" {
 		if err := obs.WriteHeapProfile(*memprofile); err != nil {

@@ -14,9 +14,13 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"repro/internal/obs"
@@ -99,11 +103,13 @@ func main() {
 	cfg.ParallelChannels = *parallel
 	eng := sim.New(cfg)
 
+	var stopProfile func() error
 	if *cpuprofile != "" {
 		stop, err := obs.StartCPUProfile(*cpuprofile)
 		if err != nil {
 			fatal(err)
 		}
+		stopProfile = stop
 		defer stop()
 	}
 
@@ -115,11 +121,28 @@ func main() {
 	man.Seed = seed
 	start := time.Now()
 
-	rep, err := eng.RunWarmStream(s, name, *warmup)
-	if err != nil {
+	// Ctrl-C / SIGTERM cancel the run cooperatively: the engine stops at
+	// the next chunk boundary and hands back a partial report, which is
+	// printed (and written as an artifact) like any other degraded run.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	rep, err := eng.RunWarmStreamCtx(ctx, s, name, *warmup)
+	stopSignals()
+	if err != nil && !rep.Truncated {
+		// Nothing ran (e.g. a warmup fraction on an unsized stream): a
+		// configuration error, not a degraded run — no partial results
+		// worth salvaging.
 		fatal(err)
 	}
 	man.WallTimeSec = time.Since(start).Seconds()
+	man.RecordFailure(err, &rep)
+	if err != nil {
+		reason := "failed"
+		if errors.Is(err, context.Canceled) {
+			reason = "interrupted"
+		}
+		fmt.Fprintf(os.Stderr, "planaria-sim: run %s: %v\nplanaria-sim: partial report covers records before position %d\n",
+			reason, err, rep.FailedAt)
+	}
 
 	fmt.Print(rep)
 	if *verbose {
@@ -143,6 +166,15 @@ func main() {
 		if err := obs.WriteHeapProfile(*memprofile); err != nil {
 			fatal(err)
 		}
+	}
+	if err != nil {
+		// Degraded run: everything salvageable was printed and written;
+		// the exit status still reports the failure. os.Exit skips the
+		// deferred profile stop, so flush it explicitly.
+		if stopProfile != nil {
+			stopProfile()
+		}
+		os.Exit(1)
 	}
 }
 

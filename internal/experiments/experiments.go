@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 	"io"
+	"math"
 	"runtime"
 	"sort"
 	"strings"
@@ -60,6 +61,11 @@ func (o Options) requests() int {
 
 func (o Options) warmup() float64 {
 	switch {
+	case math.IsNaN(o.Warmup):
+		// NaN compares false against everything, so without this guard it
+		// would fall through every case below and poison the warmup
+		// boundary arithmetic downstream. Treat it like "disabled".
+		return 0
 	case o.Warmup < 0:
 		return 0
 	case o.Warmup == 0:
@@ -99,6 +105,13 @@ func RunOne(p workloads.Profile, pf string, opts Options) (metrics.Report, error
 // Sweep runs every catalog app under every named prefetcher. Runs are
 // independent and deterministic, so they execute concurrently (bounded by
 // GOMAXPROCS); results are identical to a serial sweep.
+//
+// On failure Sweep degrades instead of discarding the sweep: the returned
+// map holds every cell that completed cleanly alongside the first error
+// (failed cells are simply absent). Callers that need an all-or-nothing
+// result should treat a non-nil error as fatal; callers surfacing partial
+// progress (cmd/experiments) can still write artifacts for the completed
+// cells.
 func Sweep(prefetchers []string, opts Options) (map[string]map[string]metrics.Report, error) {
 	type job struct {
 		app workloads.Profile
@@ -148,15 +161,14 @@ func Sweep(prefetchers []string, opts Options) (map[string]map[string]metrics.Re
 		}(j)
 	}
 	wg.Wait()
-	if first != nil {
-		return nil, first
-	}
 	if opts.ArtifactDir != "" {
-		if err := writeCellArtifacts(opts.ArtifactDir, out, opts); err != nil {
-			return nil, err
+		// Completed cells are written even on a partial sweep — their
+		// reports are valid; the error still propagates.
+		if err := writeCellArtifacts(opts.ArtifactDir, out, opts); err != nil && first == nil {
+			first = err
 		}
 	}
-	return out, nil
+	return out, first
 }
 
 // EvalPrefetchers is the prefetcher set of Figures 7, 8 and 10.
@@ -235,11 +247,13 @@ func Fig5(w io.Writer, opts Options) (avgAt4, avgAt64 float64) {
 }
 
 // Fig7 prints the per-app SC hit rate per prefetcher and returns the
-// reports for further use.
+// reports for further use. On a partial sweep the completed cells come
+// back with the error; the table (which assumes a full grid) is only
+// printed for a clean sweep.
 func Fig7(w io.Writer, opts Options) (map[string]map[string]metrics.Report, error) {
 	reps, err := Sweep(EvalPrefetchers, opts)
 	if err != nil {
-		return nil, err
+		return reps, err
 	}
 	header(w, "Figure 7: SC hit rate", EvalPrefetchers)
 	for _, a := range appOrder(reps) {
@@ -419,7 +433,7 @@ func RunAll(w io.Writer, opts Options) (map[string]map[string]metrics.Report, er
 	Fig5(w, opts)
 	reps, err := Fig7(w, opts)
 	if err != nil {
-		return nil, err
+		return reps, err
 	}
 	Fig8(w, reps)
 	if _, _, err := Fig9(w, opts); err != nil {

@@ -3,6 +3,7 @@ package experiments
 import (
 	"bytes"
 	"io"
+	"math"
 	"strings"
 	"testing"
 
@@ -32,6 +33,49 @@ func TestRunOneUnknownPrefetcher(t *testing.T) {
 	p, _ := workloads.ByAbbr("CFM")
 	if _, err := RunOne(p, "warp-drive", small()); err == nil {
 		t.Fatal("unknown prefetcher accepted")
+	}
+}
+
+// TestWarmupClamp: the options-level warmup fraction maps every degenerate
+// input (NaN included — it compares false against everything, so a plain
+// comparison chain would let it through) into [0, 0.9], with 0 selecting
+// the 0.2 default.
+func TestWarmupClamp(t *testing.T) {
+	for _, tc := range []struct{ in, want float64 }{
+		{math.NaN(), 0},
+		{math.Inf(-1), 0},
+		{-1, 0},
+		{0, 0.2},
+		{0.5, 0.5},
+		{1, 0.9},
+		{2, 0.9},
+		{math.Inf(1), 0.9},
+	} {
+		if got := (Options{Warmup: tc.in}).warmup(); got != tc.want {
+			t.Errorf("warmup(%v) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+}
+
+// TestSweepPartialOnError: a sweep with one broken prefetcher name still
+// returns the completed cells next to the error instead of discarding the
+// whole grid.
+func TestSweepPartialOnError(t *testing.T) {
+	opts := small()
+	reps, err := Sweep([]string{"none", "warp-drive"}, opts)
+	if err == nil {
+		t.Fatal("unknown prefetcher accepted by Sweep")
+	}
+	if len(reps) == 0 {
+		t.Fatal("partial sweep discarded the completed cells")
+	}
+	for app, cells := range reps {
+		if _, ok := cells["warp-drive"]; ok {
+			t.Fatalf("%s: failed cell present in partial results", app)
+		}
+		if _, ok := cells["none"]; !ok {
+			t.Fatalf("%s: completed cell missing from partial results", app)
+		}
 	}
 }
 

@@ -1,0 +1,261 @@
+// Package faults provides a composable fault-injecting wrapper around
+// trace.Stream for hardening the streaming engine and its consumers.
+//
+// A production memory-system pipeline has to survive malformed input and
+// partial failure — corrupt records, producers that die mid-stream, files
+// that lost their tail, streams that lie about their length, and wedged
+// sources that stall. The Stream wrapper in this package injects exactly
+// those faults at deterministic record positions, so the chaos tests in
+// internal/sim can pin the engine's graceful-degradation contract
+// (docs/PERFORMANCE.md, "Failure model"): no goroutine leaks, errors
+// attributed to the earliest failing global record, and partial reports
+// marked Truncated instead of discarded work.
+//
+// A Stream armed with no faults is fully transparent: it forwards records,
+// chunked reads, Len and Err unchanged, and the engine's report over the
+// wrapped stream is bit-identical to the bare stream (pinned by
+// TestFaultStreamTransparent).
+package faults
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/addr"
+	"repro/internal/trace"
+)
+
+// Kind enumerates the fault classes the injector can arm.
+type Kind int
+
+const (
+	// Corrupt overwrites the record at the fault point with deterministic
+	// garbage: a scrambled address, an out-of-range device and a flipped
+	// operation. The arrival cycle is preserved (the record is malformed,
+	// not time-travelling), and the stream itself stays healthy — the
+	// engine must absorb the record and run to completion.
+	Corrupt Kind = iota
+	// ErrAt terminates the stream just before the record at the fault
+	// point and surfaces ErrInjected from Err() — a mid-stream decode
+	// failure.
+	ErrAt
+	// Truncate silently ends the stream just before the fault point with
+	// a nil Err(), like a producer that lost its tail.
+	Truncate
+	// Stall sleeps StallFor once, just before delivering the record at
+	// the fault point — a wedged producer. The stall is bounded so
+	// cancellation tests stay deterministic; the engine observes a
+	// cancelled context at the next chunk boundary after the stall.
+	Stall
+	// MisLen leaves the records untouched but skews the Len() the
+	// wrapper reports by LenSkew from the first call on — a stream that
+	// lies about its size. Warmup-boundary placement must degrade
+	// gracefully, never crash or deadlock.
+	MisLen
+)
+
+var kindNames = [...]string{"corrupt", "err-at", "truncate", "stall", "mis-len"}
+
+// String returns the kind's mnemonic.
+func (k Kind) String() string {
+	if k >= 0 && int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// ErrInjected is the error an ErrAt fault surfaces from Err(); the wrapped
+// instance carries the firing position in its message.
+var ErrInjected = errors.New("faults: injected stream failure")
+
+// Fault arms one fault at a deterministic record position.
+type Fault struct {
+	Kind Kind
+	// At is the 0-based global record index the fault fires at. ErrAt
+	// and Truncate end the stream instead of delivering record At;
+	// Corrupt garbles record At; Stall sleeps before delivering it.
+	// MisLen ignores At (the skew applies from the first Len call).
+	At int64
+	// StallFor bounds the Stall sleep; zero defaults to 50ms.
+	StallFor time.Duration
+	// LenSkew is added to the inner stream's record count for MisLen.
+	// A skew that drives the count negative makes the stream report an
+	// unknown length.
+	LenSkew int
+}
+
+func (f Fault) stallFor() time.Duration {
+	if f.StallFor <= 0 {
+		return 50 * time.Millisecond
+	}
+	return f.StallFor
+}
+
+// Stream wraps an inner trace.Stream and injects the armed faults at their
+// record positions. It implements trace.Stream, trace.Chunker and
+// trace.Sized; like every trace.Stream it is not safe for concurrent use.
+type Stream struct {
+	inner  trace.Stream
+	faults []Fault // in firing order (stable-sorted by At at Wrap time)
+	fi     int     // next fault to consider
+	pos    int64   // index of the next record to deliver
+	err    error
+	done   bool
+
+	misLen  bool
+	lenSkew int
+}
+
+// Wrap arms the given faults on inner. Faults are fired in position order;
+// several faults may share a position (a stall followed by an error, say).
+// Wrap with no faults is a transparent pass-through.
+func Wrap(inner trace.Stream, fs ...Fault) *Stream {
+	s := &Stream{inner: inner}
+	for _, f := range fs {
+		if f.Kind == MisLen {
+			s.misLen = true
+			s.lenSkew += f.LenSkew
+			continue
+		}
+		s.faults = append(s.faults, f)
+	}
+	// Insertion sort keeps equal-position faults in argument order.
+	for i := 1; i < len(s.faults); i++ {
+		for j := i; j > 0 && s.faults[j].At < s.faults[j-1].At; j-- {
+			s.faults[j], s.faults[j-1] = s.faults[j-1], s.faults[j]
+		}
+	}
+	return s
+}
+
+// arm fires every fault scheduled at the current position. It returns
+// corrupt=true when the record about to be delivered must be garbled, and
+// stop=true when the stream ends here (ErrAt or Truncate).
+func (s *Stream) arm() (corrupt, stop bool) {
+	for s.fi < len(s.faults) && s.faults[s.fi].At == s.pos {
+		f := s.faults[s.fi]
+		s.fi++
+		switch f.Kind {
+		case ErrAt:
+			s.done = true
+			s.err = fmt.Errorf("%w at record %d", ErrInjected, s.pos)
+			return false, true
+		case Truncate:
+			s.done = true
+			return false, true
+		case Stall:
+			time.Sleep(f.stallFor())
+		case Corrupt:
+			corrupt = true
+		}
+	}
+	return corrupt, false
+}
+
+// corruptRecord garbles a record deterministically from its position: the
+// address is scrambled (still a valid physical address, mapping to an
+// arbitrary channel), the device is out of range and the operation flips.
+// The cycle is preserved so the record is malformed, not reordered in time.
+func corruptRecord(rec trace.Record, pos int64) trace.Record {
+	rec.Addr = addr.Addr(uint64(rec.Addr) ^ (uint64(pos)*0x9E3779B97F4A7C15 + 0xBF58476D1CE4E5B9))
+	rec.Device = trace.Device(0xFF)
+	rec.Write = !rec.Write
+	return rec
+}
+
+// Next implements trace.Stream.
+func (s *Stream) Next() (trace.Record, bool) {
+	if s.done {
+		return trace.Record{}, false
+	}
+	corrupt, stop := s.arm()
+	if stop {
+		return trace.Record{}, false
+	}
+	rec, ok := s.inner.Next()
+	if !ok {
+		s.done = true
+		s.err = s.inner.Err()
+		return trace.Record{}, false
+	}
+	if corrupt {
+		rec = corruptRecord(rec, s.pos)
+	}
+	s.pos++
+	return rec, true
+}
+
+// NextChunk implements trace.Chunker: between fault positions it forwards
+// whole chunks to the inner stream's fast path; a chunk never crosses the
+// next armed fault, which is delivered through the per-record path instead.
+func (s *Stream) NextChunk(dst []trace.Record) int {
+	if s.done || len(dst) == 0 {
+		return 0
+	}
+	if s.fi < len(s.faults) {
+		if room := s.faults[s.fi].At - s.pos; room <= 0 {
+			// The next record is a fault point: take the slow path.
+			rec, ok := s.Next()
+			if !ok {
+				return 0
+			}
+			dst[0] = rec
+			return 1
+		} else if int64(len(dst)) > room {
+			dst = dst[:room]
+		}
+	}
+	n := trace.ReadChunk(s.inner, dst)
+	if n == 0 {
+		s.done = true
+		s.err = s.inner.Err()
+		return 0
+	}
+	s.pos += int64(n)
+	return n
+}
+
+// Err implements trace.Stream: the injected error, or the inner stream's.
+func (s *Stream) Err() error { return s.err }
+
+// Len implements trace.Sized: the inner stream's remaining count, skewed by
+// any armed MisLen fault. Without one it is a faithful pass-through,
+// including the "unknown" (-1) convention for unsized inner streams.
+func (s *Stream) Len() int {
+	n := trace.StreamLen(s.inner)
+	if !s.misLen || n < 0 {
+		return n
+	}
+	n += s.lenSkew
+	if n < 0 {
+		return -1
+	}
+	return n
+}
+
+// Plan derives one deterministic fault of the given kind for an n-record
+// stream from a seed: the firing position lands strictly inside the stream
+// (never record 0, so the fault interrupts a run in progress rather than
+// preventing it), and MisLen gets a skew of about a third of the stream in
+// a seed-determined direction. The same (kind, seed, n) always produces the
+// same fault — chaos runs are reproducible from their seed.
+func Plan(kind Kind, seed, n int64) Fault {
+	// SplitMix64 step: cheap, stateless, and good enough to spread fault
+	// positions across the stream.
+	z := uint64(seed) + 0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	z ^= z >> 31
+	f := Fault{Kind: kind, At: 1}
+	if n > 2 {
+		f.At = 1 + int64(z%uint64(n-1))
+	}
+	if kind == MisLen {
+		f.LenSkew = int(n / 3)
+		if z&1 == 1 {
+			f.LenSkew = -f.LenSkew
+		}
+	}
+	return f
+}

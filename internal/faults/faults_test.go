@@ -1,0 +1,199 @@
+package faults
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/addr"
+	"repro/internal/trace"
+)
+
+func testTrace(n int) trace.Trace {
+	t := make(trace.Trace, n)
+	for i := range t {
+		t[i] = trace.Record{
+			Addr:   addr.Addr(0x40 * uint64(i) * 5),
+			Cycle:  uint64(i) * 3,
+			Device: trace.Device(i % 4),
+			Write:  i%7 == 0,
+		}
+	}
+	return t
+}
+
+// drain pulls every record through ReadChunk with a deliberately awkward
+// buffer size so chunk boundaries and fault positions interleave.
+func drain(s trace.Stream) (trace.Trace, error) {
+	var out trace.Trace
+	buf := make([]trace.Record, 13)
+	for {
+		n := trace.ReadChunk(s, buf)
+		if n == 0 {
+			return out, s.Err()
+		}
+		out = append(out, buf[:n]...)
+	}
+}
+
+// TestTransparent: a wrapper with no faults forwards every record, the
+// length and the (nil) error unchanged.
+func TestTransparent(t *testing.T) {
+	tr := testTrace(100)
+	s := Wrap(tr.Stream())
+	if got := s.Len(); got != 100 {
+		t.Fatalf("Len = %d, want 100", got)
+	}
+	out, err := drain(s)
+	if err != nil {
+		t.Fatalf("faultless wrapper errored: %v", err)
+	}
+	if len(out) != len(tr) {
+		t.Fatalf("delivered %d records, want %d", len(out), len(tr))
+	}
+	for i := range tr {
+		if out[i] != tr[i] {
+			t.Fatalf("record %d: %v != %v", i, out[i], tr[i])
+		}
+	}
+	if s.Len() != 0 {
+		t.Fatalf("drained Len = %d, want 0", s.Len())
+	}
+}
+
+// TestTransparentUnsized: the wrapper forwards the unknown-length
+// convention instead of inventing a size.
+func TestTransparentUnsized(t *testing.T) {
+	s := Wrap(unsized{})
+	if got := s.Len(); got != -1 {
+		t.Fatalf("unsized inner: Len = %d, want -1", got)
+	}
+}
+
+type unsized struct{}
+
+func (unsized) Next() (trace.Record, bool) { return trace.Record{}, false }
+func (unsized) Err() error                 { return nil }
+
+// TestErrAt: the stream ends just before the fault position and surfaces
+// ErrInjected.
+func TestErrAt(t *testing.T) {
+	tr := testTrace(100)
+	s := Wrap(tr.Stream(), Fault{Kind: ErrAt, At: 37})
+	out, err := drain(s)
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected", err)
+	}
+	if len(out) != 37 {
+		t.Fatalf("delivered %d records before the fault, want 37", len(out))
+	}
+	// A stopped stream stays stopped.
+	if _, ok := s.Next(); ok {
+		t.Fatal("failed stream yielded another record")
+	}
+}
+
+// TestTruncate: silent early end — fewer records, nil error.
+func TestTruncate(t *testing.T) {
+	tr := testTrace(100)
+	s := Wrap(tr.Stream(), Fault{Kind: Truncate, At: 64})
+	out, err := drain(s)
+	if err != nil {
+		t.Fatalf("truncation must be silent, got %v", err)
+	}
+	if len(out) != 64 {
+		t.Fatalf("delivered %d records, want 64", len(out))
+	}
+}
+
+// TestCorrupt: exactly the armed record differs from the source, the
+// stream stays healthy, and the same position corrupts the same way twice.
+func TestCorrupt(t *testing.T) {
+	tr := testTrace(100)
+	out, err := drain(Wrap(tr.Stream(), Fault{Kind: Corrupt, At: 50}))
+	if err != nil {
+		t.Fatalf("corrupt record must not fail the stream: %v", err)
+	}
+	if len(out) != 100 {
+		t.Fatalf("delivered %d records, want 100", len(out))
+	}
+	for i := range tr {
+		if (out[i] != tr[i]) != (i == 50) {
+			t.Fatalf("record %d: corruption at wrong position (%v vs %v)", i, out[i], tr[i])
+		}
+	}
+	if out[50].Cycle != tr[50].Cycle {
+		t.Fatalf("corruption rewound time: cycle %d -> %d", tr[50].Cycle, out[50].Cycle)
+	}
+	again, _ := drain(Wrap(tr.Stream(), Fault{Kind: Corrupt, At: 50}))
+	if again[50] != out[50] {
+		t.Fatalf("corruption not deterministic: %v vs %v", again[50], out[50])
+	}
+}
+
+// TestMisLen: the reported length is skewed, the records are not; a skew
+// past zero degrades to the unknown-length convention.
+func TestMisLen(t *testing.T) {
+	tr := testTrace(90)
+	s := Wrap(tr.Stream(), Fault{Kind: MisLen, LenSkew: 30})
+	if got := s.Len(); got != 120 {
+		t.Fatalf("skewed Len = %d, want 120", got)
+	}
+	out, err := drain(s)
+	if err != nil || len(out) != 90 {
+		t.Fatalf("MisLen altered delivery: %d records, err %v", len(out), err)
+	}
+	if got := Wrap(tr.Stream(), Fault{Kind: MisLen, LenSkew: -1000}).Len(); got != -1 {
+		t.Fatalf("negative skewed Len = %d, want -1 (unknown)", got)
+	}
+}
+
+// TestStall: the stall delays delivery once but drops nothing.
+func TestStall(t *testing.T) {
+	tr := testTrace(40)
+	start := time.Now()
+	out, err := drain(Wrap(tr.Stream(), Fault{Kind: Stall, At: 20, StallFor: 30 * time.Millisecond}))
+	if err != nil || len(out) != 40 {
+		t.Fatalf("stalled stream: %d records, err %v", len(out), err)
+	}
+	if d := time.Since(start); d < 30*time.Millisecond {
+		t.Fatalf("stall not observed: drained in %v", d)
+	}
+}
+
+// TestStackedFaults: faults at the same position fire in argument order
+// (here: the stall happens, then the error lands at the same record).
+func TestStackedFaults(t *testing.T) {
+	tr := testTrace(50)
+	s := Wrap(tr.Stream(),
+		Fault{Kind: Stall, At: 10, StallFor: time.Millisecond},
+		Fault{Kind: ErrAt, At: 10})
+	out, err := drain(s)
+	if !errors.Is(err, ErrInjected) || len(out) != 10 {
+		t.Fatalf("stacked faults: %d records, err %v", len(out), err)
+	}
+}
+
+// TestPlanDeterministic: the same (kind, seed, n) yields the same fault,
+// inside the stream; different seeds move it.
+func TestPlanDeterministic(t *testing.T) {
+	a := Plan(ErrAt, 42, 10_000)
+	if b := Plan(ErrAt, 42, 10_000); a != b {
+		t.Fatalf("Plan not deterministic: %+v vs %+v", a, b)
+	}
+	if a.At < 1 || a.At >= 10_000 {
+		t.Fatalf("Plan placed fault at %d, want within [1, 10000)", a.At)
+	}
+	moved := false
+	for seed := int64(0); seed < 8; seed++ {
+		if Plan(ErrAt, seed, 10_000).At != a.At {
+			moved = true
+		}
+	}
+	if !moved {
+		t.Fatal("fault position ignores the seed")
+	}
+	if m := Plan(MisLen, 7, 900); m.LenSkew == 0 {
+		t.Fatal("MisLen plan has no skew")
+	}
+}

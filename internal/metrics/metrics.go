@@ -48,6 +48,18 @@ type Report struct {
 	// sampling was enabled (sim.Config.SampleEvery*); nil otherwise. Its
 	// window counters sum exactly to the aggregates above.
 	Series *TimeSeries `json:"series,omitempty"`
+
+	// Truncated marks a partial report: the run ended early on a stream
+	// fault, a simulation error or a cancelled context, and the counters
+	// cover only the records processed up to that point. The error
+	// returned alongside the report says why.
+	Truncated bool `json:"truncated,omitempty"`
+	// FailedAt is the 0-based global trace position the failure is
+	// attributed to — the earliest failing record for simulation errors,
+	// the number of records delivered for stream faults, and the
+	// position the consumer had reached for cancellations. Meaningful
+	// only when Truncated is set.
+	FailedAt int64 `json:"failed_at,omitempty"`
 }
 
 // HitRate returns the demand hit rate of the system cache.

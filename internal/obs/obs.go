@@ -40,6 +40,30 @@ type Manifest struct {
 	Arch        string    `json:"arch"`
 	StartTime   time.Time `json:"start_time"`
 	WallTimeSec float64   `json:"wall_time_seconds"`
+
+	// Failure fields: set when the run degraded instead of completing —
+	// the artifact then carries the partial results that were salvaged
+	// (see docs/OBSERVABILITY.md, "Failure model"). Failure is the error
+	// text; Truncated mirrors metrics.Report.Truncated; FailedAt is the
+	// global trace position the failure was attributed to.
+	Failure   string `json:"failure,omitempty"`
+	Truncated bool   `json:"truncated,omitempty"`
+	FailedAt  int64  `json:"failed_at,omitempty"`
+}
+
+// RecordFailure marks the manifest as describing a degraded run: err
+// becomes the Failure text, and when the (possibly partial) report was
+// truncated mid-run its position metadata is copied over. A nil err is a
+// no-op so callers can invoke it unconditionally.
+func (m *Manifest) RecordFailure(err error, rep *metrics.Report) {
+	if err == nil {
+		return
+	}
+	m.Failure = err.Error()
+	if rep != nil && rep.Truncated {
+		m.Truncated = true
+		m.FailedAt = rep.FailedAt
+	}
 }
 
 // NewManifest builds a manifest for the named tool with the environment

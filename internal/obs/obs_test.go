@@ -2,6 +2,7 @@ package obs
 
 import (
 	"bytes"
+	"errors"
 	"os"
 	"path/filepath"
 	"reflect"
@@ -10,6 +11,8 @@ import (
 
 	"repro/internal/metrics"
 )
+
+var errTest = errors.New("sim: injected stream failure at record 4242")
 
 func sampleArtifact() Artifact {
 	man := NewManifest("planaria-sim")
@@ -45,6 +48,42 @@ func TestManifestEnvironmentFields(t *testing.T) {
 	}
 	if man.StartTime.IsZero() {
 		t.Fatal("start time not set")
+	}
+}
+
+// TestRecordFailure: a degraded run's manifest carries the error text and
+// the truncation metadata of the partial report; a nil error leaves the
+// manifest untouched, and the failure fields survive a JSON round trip.
+func TestRecordFailure(t *testing.T) {
+	man := NewManifest("planaria-sim")
+	man.RecordFailure(nil, nil)
+	if man.Failure != "" || man.Truncated || man.FailedAt != 0 {
+		t.Fatalf("nil error mutated the manifest: %+v", man)
+	}
+
+	rep := metrics.Report{Truncated: true, FailedAt: 4242}
+	man.RecordFailure(errTest, &rep)
+	if man.Failure != errTest.Error() {
+		t.Fatalf("Failure = %q", man.Failure)
+	}
+	if !man.Truncated || man.FailedAt != 4242 {
+		t.Fatalf("truncation metadata not copied: %+v", man)
+	}
+
+	art := Artifact{Manifest: man, Report: &rep}
+	var buf bytes.Buffer
+	if err := Encode(&buf, art); err != nil {
+		t.Fatal(err)
+	}
+	if s := buf.String(); !strings.Contains(s, `"failure"`) || !strings.Contains(s, `"failed_at": 4242`) {
+		t.Fatalf("failure fields missing from JSON:\n%s", s)
+	}
+	back, err := Decode(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(art, back) {
+		t.Fatal("failure round trip changed the artifact")
 	}
 }
 

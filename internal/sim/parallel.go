@@ -19,8 +19,20 @@ package sim
 // slice-based planWindows did up front), and all channels barrier at each
 // boundary before the merged snapshot is taken. Reports are bit-identical
 // to serial runs.
+//
+// Failure contract (docs/PERFORMANCE.md, "Failure model"): a worker that
+// errors — or panics; panics are recovered into errors — never stops
+// draining its queue, so the splitter can never block pushing into a dead
+// worker's bounded queue and barriers always complete. The first failure
+// trips a shared abort latch; the splitter stops reading the stream at the
+// next chunk boundary, flushes what it already read (so an even earlier
+// fault buffered for another channel is still discovered), closes the
+// queues and joins every worker. The run's error is attributed to the
+// earliest failing global record, exactly as the serial engine would stop.
 
 import (
+	"context"
+	"fmt"
 	"sync"
 
 	"repro/internal/addr"
@@ -61,12 +73,34 @@ type parcel struct {
 	barrier *streamBarrier
 }
 
+// stepAll drives every record of b through the channel slice. A step error
+// — or a panic out of the channel's cache, prefetcher or controller, which
+// is recovered here so one poisoned component cannot wedge the whole
+// pipeline — is attributed to the global position of the record being
+// processed.
+func (cs *channelState) stepAll(b *parcelBuf) (at int64, err error) {
+	k := 0
+	defer func() {
+		if r := recover(); r != nil {
+			at = b.idx[k]
+			err = fmt.Errorf("sim: channel worker panic at record %d: %v", at, r)
+		}
+	}()
+	for k = range b.recs {
+		if e := cs.step(b.recs[k]); e != nil {
+			return b.idx[k], e
+		}
+	}
+	return 0, nil
+}
+
 // runParallelStream drives a record stream through the sharded engine.
 // warmAt >= 0 resets statistics immediately before global record warmAt
 // (the warmup boundary); warmAt < 0 disables the reset. Without sampling
 // and warmup there are no barriers at all: the four channels run free from
-// start to finish behind the splitter.
-func (e *Engine) runParallelStream(s trace.Stream, warmAt int64) error {
+// start to finish behind the splitter. The returned position attributes any
+// error (see consumeStream).
+func (e *Engine) runParallelStream(ctx context.Context, s trace.Stream, warmAt int64) (int64, error) {
 	type chanErr struct {
 		err    error
 		global int64
@@ -75,6 +109,8 @@ func (e *Engine) runParallelStream(s trace.Stream, warmAt int64) error {
 		queues  [addr.Channels]chan parcel
 		errs    [addr.Channels]chanErr // each worker writes only its slot
 		workers sync.WaitGroup
+		abort   = make(chan struct{}) // closed once, on the first worker failure
+		trip    sync.Once
 	)
 	pool := sync.Pool{New: func() any {
 		return &parcelBuf{
@@ -89,6 +125,10 @@ func (e *Engine) runParallelStream(s trace.Stream, warmAt int64) error {
 			defer workers.Done()
 			cs := e.channels[ch]
 			failed := false
+			// The loop always runs to queue close: after a failure the
+			// worker keeps draining chunks (discarding them) and keeps
+			// honouring barriers, so the splitter never blocks pushing
+			// into this queue and quiesce never deadlocks.
 			for p := range queues[ch] {
 				if p.barrier != nil {
 					p.barrier.arrived.Done()
@@ -96,12 +136,10 @@ func (e *Engine) runParallelStream(s trace.Stream, warmAt int64) error {
 					continue
 				}
 				if !failed {
-					for k := range p.buf.recs {
-						if err := cs.step(p.buf.recs[k]); err != nil {
-							errs[ch] = chanErr{err: err, global: p.buf.idx[k]}
-							failed = true
-							break
-						}
+					if at, err := cs.stepAll(p.buf); err != nil {
+						errs[ch] = chanErr{err: err, global: at}
+						failed = true
+						trip.Do(func() { close(abort) })
 					}
 				}
 				p.buf.recs = p.buf.recs[:0]
@@ -148,7 +186,19 @@ func (e *Engine) runParallelStream(s trace.Stream, warmAt int64) error {
 
 	in := make([]trace.Record, trace.ChunkSize)
 	var global int64
+	var cause error // cancellation, recorded at the splitter's position
+splitting:
 	for {
+		select {
+		case <-abort:
+			// A worker failed; stop feeding the stream. The failing
+			// record's position is in errs — attribution happens below.
+			break splitting
+		case <-ctx.Done():
+			cause = ctx.Err()
+			break splitting
+		default:
+		}
 		n := trace.ReadChunk(s, in)
 		if n == 0 {
 			break
@@ -184,7 +234,7 @@ func (e *Engine) runParallelStream(s trace.Stream, warmAt int64) error {
 			}
 		}
 	}
-	if warmAt >= global {
+	if cause == nil && warmAt >= global {
 		// The whole (possibly empty) stream was warmup: the in-loop
 		// boundary never fired, but RunWarm semantics still reset.
 		resume := quiesce()
@@ -194,6 +244,11 @@ func (e *Engine) runParallelStream(s trace.Stream, warmAt int64) error {
 		}
 		resume()
 	}
+	// Flush everything already read — even when aborting. Workers keep
+	// draining after a failure, the backlog is bounded by the queue depth,
+	// and a fault at an earlier global position that was still buffered
+	// for a healthy channel is discovered this way, keeping attribution at
+	// the earliest failing record.
 	for ch := 0; ch < addr.Channels; ch++ {
 		flush(ch)
 		close(queues[ch])
@@ -211,7 +266,10 @@ func (e *Engine) runParallelStream(s trace.Stream, warmAt int64) error {
 		}
 	}
 	if first >= 0 {
-		return errs[first].err
+		return errs[first].global, errs[first].err
 	}
-	return s.Err()
+	if cause != nil {
+		return global, cause
+	}
+	return global, s.Err()
 }

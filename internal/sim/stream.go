@@ -6,9 +6,18 @@ package sim
 // compatibility shims over slice-backed streams; the record-processing code
 // is shared, so streamed and materialized runs are bit-identical (pinned by
 // internal/sim/stream_test.go).
+//
+// The Ctx variants add cooperative cancellation and are the primary entry
+// points; on any failure — a stream fault, a simulation error or a
+// cancelled context — the engine returns a *partial* report marked
+// Truncated with the failure position in FailedAt, alongside the error,
+// instead of discarding the work already done (docs/PERFORMANCE.md,
+// "Failure model").
 
 import (
+	"context"
 	"errors"
+	"math"
 
 	"repro/internal/metrics"
 	"repro/internal/trace"
@@ -27,10 +36,17 @@ var ErrUnsizedWarmup = errors.New("sim: warmup fraction requires a sized stream 
 // goroutine per channel as they arrive; the report is bit-identical to a
 // serial run, and to Run on the materialized trace.
 func (e *Engine) RunStream(s trace.Stream, workload string) (metrics.Report, error) {
-	if err := e.consumeStream(s, -1); err != nil {
-		return metrics.Report{}, err
-	}
-	return e.Finish(workload), nil
+	return e.RunStreamCtx(context.Background(), s, workload)
+}
+
+// RunStreamCtx is RunStream with cooperative cancellation: when ctx is
+// cancelled the engine stops at the next chunk boundary, tears down the
+// parallel splitter and every channel worker without leaking goroutines,
+// and returns ctx.Err() with a partial report (Truncated set, FailedAt at
+// the position the consumer had reached).
+func (e *Engine) RunStreamCtx(ctx context.Context, s trace.Stream, workload string) (metrics.Report, error) {
+	failedAt, err := e.consumeStream(ctx, s, -1)
+	return e.finishPartial(workload, failedAt, err)
 }
 
 // RunWarmStream processes a stream with the first warmup fraction of
@@ -40,26 +56,44 @@ func (e *Engine) RunStream(s trace.Stream, workload string) (metrics.Report, err
 // clamped. A positive fraction needs a sized stream (ErrUnsizedWarmup
 // otherwise); slice and generator streams always know their length.
 func (e *Engine) RunWarmStream(s trace.Stream, workload string, warmup float64) (metrics.Report, error) {
+	return e.RunWarmStreamCtx(context.Background(), s, workload, warmup)
+}
+
+// RunWarmStreamCtx is RunWarmStream with cooperative cancellation (see
+// RunStreamCtx for the cancellation and partial-report contract).
+func (e *Engine) RunWarmStreamCtx(ctx context.Context, s trace.Stream, workload string, warmup float64) (metrics.Report, error) {
 	warmup = clampWarmup(warmup)
 	var warmAt int64
 	if warmup > 0 {
 		n := trace.StreamLen(s)
 		if n < 0 {
+			// Nothing ran: no partial report to salvage.
 			return metrics.Report{}, ErrUnsizedWarmup
 		}
 		warmAt = int64(float64(n) * warmup)
 	}
-	if err := e.consumeStream(s, warmAt); err != nil {
-		return metrics.Report{}, err
+	failedAt, err := e.consumeStream(ctx, s, warmAt)
+	return e.finishPartial(workload, failedAt, err)
+}
+
+// finishPartial builds the report; on error it is marked as the partial
+// result of a truncated run, with the failure position attached.
+func (e *Engine) finishPartial(workload string, failedAt int64, err error) (metrics.Report, error) {
+	rep := e.Finish(workload)
+	if err != nil {
+		rep.Truncated = true
+		rep.FailedAt = failedAt
 	}
-	return e.Finish(workload), nil
+	return rep, err
 }
 
 // clampWarmup maps a warmup fraction into [0, 0.9]; NaN and negatives
-// disable warmup.
+// disable warmup (a NaN must not survive the clamp — every comparison
+// against it is false, so it would otherwise slip through and poison the
+// warmup boundary arithmetic).
 func clampWarmup(w float64) float64 {
 	switch {
-	case w < 0 || w != w: // negative or NaN
+	case math.IsNaN(w) || w < 0:
 		return 0
 	case w > 0.9:
 		return 0.9
@@ -71,13 +105,22 @@ func clampWarmup(w float64) float64 {
 // statistics immediately before global record warmAt (warmAt < 0 disables
 // the reset; warmAt at or past the end of the stream resets after the last
 // record, matching RunWarm's t[:w] / reset / t[w:] split for every w).
-func (e *Engine) consumeStream(s trace.Stream, warmAt int64) error {
+// Cancellation is observed at chunk boundaries. The returned position is
+// where any error is attributed: the failing record for simulation errors,
+// the records delivered for stream faults, the stop position for
+// cancellation. It is meaningless when err is nil.
+func (e *Engine) consumeStream(ctx context.Context, s trace.Stream, warmAt int64) (int64, error) {
 	if e.parallelOK() {
-		return e.runParallelStream(s, warmAt)
+		return e.runParallelStream(ctx, s, warmAt)
 	}
 	buf := make([]trace.Record, trace.ChunkSize)
 	var global int64
 	for {
+		select {
+		case <-ctx.Done():
+			return global, ctx.Err()
+		default:
+		}
 		n := trace.ReadChunk(s, buf)
 		if n == 0 {
 			break
@@ -87,7 +130,7 @@ func (e *Engine) consumeStream(s trace.Stream, warmAt int64) error {
 				e.ResetStats()
 			}
 			if err := e.Step(rec); err != nil {
-				return err
+				return global, err
 			}
 			global++
 		}
@@ -95,5 +138,5 @@ func (e *Engine) consumeStream(s trace.Stream, warmAt int64) error {
 	if warmAt >= global {
 		e.ResetStats()
 	}
-	return s.Err()
+	return global, s.Err()
 }

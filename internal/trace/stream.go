@@ -1,6 +1,10 @@
 package trace
 
-import "io"
+import (
+	"errors"
+	"fmt"
+	"io"
+)
 
 // This file defines the streaming side of the trace package: a pull-based
 // record iterator that lets the simulation engine consume traces of any
@@ -117,25 +121,37 @@ func (s *SliceStream) Len() int { return len(s.t) - s.pos }
 // record count is unknown (Len returns -1) unless declared with WithLen —
 // use RecordCount on the file size for regular binary trace files.
 type ReaderStream struct {
-	r      *Reader
-	err    error
-	done   bool
-	remain int
-	sized  bool
+	r        *Reader
+	err      error
+	done     bool
+	remain   int
+	declared int
+	sized    bool
 }
 
 // Stream returns a record stream over the reader.
 func (r *Reader) Stream() *ReaderStream { return &ReaderStream{r: r} }
 
+// ErrLenMismatch reports a declared stream length (WithLen) that disagrees
+// with the records the source actually decoded. Consumers that place a
+// warmup boundary from Len would otherwise mis-place it silently.
+var ErrLenMismatch = errors.New("trace: declared stream length mismatch")
+
 // WithLen declares the total number of records the stream will deliver,
-// making it Sized (warmup fractions need this). It returns the stream for
-// chaining.
+// making it Sized (warmup fractions need this). The declaration is
+// enforced: a source that ends early, or keeps decoding past the declared
+// count, stops the stream with an ErrLenMismatch from Err() instead of
+// letting a mis-sized warmup boundary slip through. It returns the stream
+// for chaining.
 func (s *ReaderStream) WithLen(n int) *ReaderStream {
-	s.remain, s.sized = n, true
+	s.remain, s.declared, s.sized = n, n, true
 	return s
 }
 
-// Next implements Stream.
+// Next implements Stream. Once the stream has stopped — end of trace,
+// decode error, or length mismatch — it stays stopped: the underlying
+// reader is never touched again, so a transient-looking source error
+// cannot cause a partial re-read.
 func (s *ReaderStream) Next() (Record, bool) {
 	if s.done {
 		return Record{}, false
@@ -143,12 +159,25 @@ func (s *ReaderStream) Next() (Record, bool) {
 	rec, err := s.r.Read()
 	if err != nil {
 		s.done = true
-		if err != io.EOF {
+		if err == io.EOF {
+			if s.sized && s.remain > 0 {
+				s.err = fmt.Errorf("%w: stream ended %d records short of the declared %d",
+					ErrLenMismatch, s.remain, s.declared)
+			}
+		} else {
 			s.err = err
 		}
 		return Record{}, false
 	}
 	if s.sized {
+		if s.remain == 0 {
+			// The source decodes more records than were declared; the
+			// extra record is dropped and the stream fails.
+			s.done = true
+			s.err = fmt.Errorf("%w: source holds more than the declared %d records",
+				ErrLenMismatch, s.declared)
+			return Record{}, false
+		}
 		s.remain--
 	}
 	return rec, true

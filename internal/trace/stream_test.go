@@ -2,6 +2,8 @@ package trace
 
 import (
 	"bytes"
+	"errors"
+	"io"
 	"testing"
 
 	"repro/internal/addr"
@@ -142,5 +144,164 @@ func TestStreamLen(t *testing.T) {
 	_ = WriteAll(&buf, tr)
 	if n := StreamLen(NewReader(&buf).Stream()); n != -1 {
 		t.Fatalf("unsized reader StreamLen = %d, want -1", n)
+	}
+}
+
+// TestWithLenShortFile: a source that ends before delivering the declared
+// record count must fail the stream with ErrLenMismatch — a silently short
+// stream would mis-place every warmup boundary computed from Len.
+func TestWithLenShortFile(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteAll(&buf, streamTrace(50)); err != nil {
+		t.Fatal(err)
+	}
+	s := NewReader(&buf).Stream().WithLen(60)
+	n := 0
+	for {
+		if _, ok := s.Next(); !ok {
+			break
+		}
+		n++
+	}
+	if n != 50 {
+		t.Fatalf("short source delivered %d records, want 50", n)
+	}
+	if !errors.Is(s.Err(), ErrLenMismatch) {
+		t.Fatalf("short source Err = %v, want ErrLenMismatch", s.Err())
+	}
+}
+
+// TestWithLenLongFile: a source that keeps decoding past the declared count
+// stops at the declaration and fails, instead of silently delivering more
+// records than the warmup arithmetic assumed.
+func TestWithLenLongFile(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteAll(&buf, streamTrace(50)); err != nil {
+		t.Fatal(err)
+	}
+	s := NewReader(&buf).Stream().WithLen(40)
+	var got Trace
+	chunk := make([]Record, 16)
+	for {
+		n := ReadChunk(s, chunk)
+		if n == 0 {
+			break
+		}
+		got = append(got, chunk[:n]...)
+	}
+	if len(got) != 40 {
+		t.Fatalf("long source delivered %d records, want 40", len(got))
+	}
+	if !errors.Is(s.Err(), ErrLenMismatch) {
+		t.Fatalf("long source Err = %v, want ErrLenMismatch", s.Err())
+	}
+}
+
+// lyingStream declares a length unrelated to what it delivers (it may even
+// be negative) — consumers must treat Len as advisory, never as a promise.
+type lyingStream struct {
+	inner *SliceStream
+	len   int
+}
+
+func (l *lyingStream) Next() (Record, bool) { return l.inner.Next() }
+func (l *lyingStream) Err() error           { return l.inner.Err() }
+func (l *lyingStream) Len() int             { return l.len }
+
+// TestStreamLenLiar: StreamLen forwards a positive lie untouched (callers
+// own the consequences) and maps any negative value to the single unknown
+// sentinel -1.
+func TestStreamLenLiar(t *testing.T) {
+	tr := streamTrace(5)
+	if n := StreamLen(&lyingStream{inner: tr.Stream(), len: 1000}); n != 1000 {
+		t.Fatalf("positive lie StreamLen = %d, want 1000", n)
+	}
+	for _, lie := range []int{-1, -7, -1 << 40} {
+		if n := StreamLen(&lyingStream{inner: tr.Stream(), len: lie}); n != -1 {
+			t.Fatalf("negative Len %d: StreamLen = %d, want -1", lie, n)
+		}
+	}
+}
+
+// TestReadChunkLiar: ReadChunk delivers what the stream actually has, not
+// what Len claims, and terminates cleanly either way.
+func TestReadChunkLiar(t *testing.T) {
+	tr := streamTrace(5)
+	s := &lyingStream{inner: tr.Stream(), len: 1000}
+	buf := make([]Record, 64)
+	if n := ReadChunk(s, buf); n != 5 {
+		t.Fatalf("over-declared stream: ReadChunk = %d, want 5", n)
+	}
+	if n := ReadChunk(s, buf); n != 0 {
+		t.Fatalf("drained stream: ReadChunk = %d, want 0", n)
+	}
+	s2 := &lyingStream{inner: tr.Stream(), len: -3}
+	if n := ReadChunk(s2, buf); n != 5 {
+		t.Fatalf("negative-Len stream: ReadChunk = %d, want 5", n)
+	}
+}
+
+// flakyReader fails exactly once with a transient-looking error after
+// limit bytes, then would happily serve the rest — a source whose failure
+// looks retryable.
+type flakyReader struct {
+	data   []byte
+	pos    int
+	limit  int
+	failed bool
+	reads  int
+}
+
+func (f *flakyReader) Read(p []byte) (int, error) {
+	f.reads++
+	if !f.failed && f.pos >= f.limit {
+		f.failed = true
+		return 0, errors.New("transient I/O error")
+	}
+	if f.pos >= len(f.data) {
+		return 0, io.EOF
+	}
+	n := copy(p, f.data[f.pos:])
+	if !f.failed && f.pos+n > f.limit {
+		n = f.limit - f.pos
+	}
+	f.pos += n
+	return n, nil
+}
+
+// TestReaderStreamNoResume: after a mid-stream error the stream must stay
+// stopped — never touching the source again — even though the source would
+// serve more data on retry. A partial re-read would silently skip records.
+func TestReaderStreamNoResume(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteAll(&buf, streamTrace(30)); err != nil {
+		t.Fatal(err)
+	}
+	fr := &flakyReader{data: buf.Bytes(), limit: 8 + 18*12 + 5} // dies mid-record 13
+	s := NewReader(fr).Stream()
+	n := 0
+	for {
+		if _, ok := s.Next(); !ok {
+			break
+		}
+		n++
+	}
+	if s.Err() == nil {
+		t.Fatal("flaky source error swallowed")
+	}
+	if n > 13 {
+		t.Fatalf("delivered %d records across a transient failure", n)
+	}
+	readsAtFailure := fr.reads
+	for i := 0; i < 3; i++ {
+		if _, ok := s.Next(); ok {
+			t.Fatal("stopped stream resumed after a transient error")
+		}
+	}
+	if fr.reads != readsAtFailure {
+		t.Fatalf("stopped stream re-read the source (%d reads after failure)", fr.reads-readsAtFailure)
+	}
+	if s.Err() == nil {
+		t.Fatal("error cleared after extra Next calls")
 	}
 }
