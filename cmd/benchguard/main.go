@@ -12,6 +12,12 @@
 // Benchmarks present in the baseline but missing from the bench output are
 // reported and fail the run (a silently-skipped guard is no guard);
 // benchmarks in the output but not in the baseline are informational only.
+//
+// A baseline entry may set "relative_to": "<OtherBenchmark>"; its req/s is
+// then gated against that benchmark's measured req/s in the same run rather
+// than the pinned absolute — the host-independent way to bound an overhead,
+// used to keep event tracing (EngineStepTraced) within 10% of the untraced
+// engine (see docs/TRACING.md).
 package main
 
 import (
@@ -30,6 +36,14 @@ type baselineEntry struct {
 	ReqPerS     float64 `json:"req_per_s"`
 	AllocsPerOp float64 `json:"allocs_per_op"`
 	BytesPerOp  float64 `json:"bytes_per_op"`
+	// RelativeTo names another benchmark in the same run: instead of the
+	// absolute req/s pin (kept as documentation), the guard compares this
+	// benchmark's measured req/s against the named one's measured req/s,
+	// using the same slowdown tolerance. This pins an *overhead ratio* —
+	// e.g. EngineStepTraced must stay within 10% of EngineStep — which
+	// holds across hosts of different absolute speed, where a fixed req/s
+	// pin would not.
+	RelativeTo string `json:"relative_to,omitempty"`
 }
 
 type baseline struct {
@@ -106,6 +120,27 @@ func compare(base baseline, results map[string]result, maxSlowdown, maxAllocGrow
 			failures = append(failures, fmt.Sprintf("%s: req/s is NaN (measured %v, baseline %v)",
 				name, got.ReqPerS, want.ReqPerS))
 			status = "FAIL"
+		case want.RelativeTo != "":
+			// Relative pin: compare against the referenced benchmark's
+			// measured req/s from the same run, so the gate expresses an
+			// overhead bound instead of an absolute speed.
+			ref, ok := results[want.RelativeTo]
+			switch {
+			case !ok:
+				failures = append(failures, fmt.Sprintf("%s: relative baseline %s missing from bench output",
+					name, want.RelativeTo))
+				status = "FAIL"
+			case math.IsNaN(ref.ReqPerS) || ref.ReqPerS == 0:
+				failures = append(failures, fmt.Sprintf("%s: relative baseline %s has unusable req/s %v",
+					name, want.RelativeTo, ref.ReqPerS))
+				status = "FAIL"
+			case got.ReqPerS < ref.ReqPerS*(1-maxSlowdown):
+				failures = append(failures, fmt.Sprintf("%s: req/s %.0f is %.1f%% below %s's %.0f (overhead limit %.0f%%)",
+					name, got.ReqPerS, 100*(1-got.ReqPerS/ref.ReqPerS), want.RelativeTo, ref.ReqPerS, 100*maxSlowdown))
+				status = "FAIL"
+			default:
+				status = fmt.Sprintf("ok (%.1f%% vs %s)", 100*(1-got.ReqPerS/ref.ReqPerS), want.RelativeTo)
+			}
 		case want.ReqPerS == 0:
 			status = "no req/s pin"
 		case got.ReqPerS < want.ReqPerS*(1-maxSlowdown):

@@ -111,6 +111,59 @@ func TestCompareNaN(t *testing.T) {
 	}
 }
 
+// TestCompareRelativeTo: a relative_to pin gates req/s against the named
+// benchmark's measured value in the same run, not the absolute pin.
+func TestCompareRelativeTo(t *testing.T) {
+	base := baseline{Benchmarks: map[string]baselineEntry{
+		"EngineStep":       {ReqPerS: 2_000_000, AllocsPerOp: 100},
+		"EngineStepTraced": {ReqPerS: 1_900_000, AllocsPerOp: 110, RelativeTo: "EngineStep"},
+	}}
+	// The host is slower than the pinned absolute across the board, but the
+	// traced run is within 10% of the untraced one: only the absolute pin
+	// may fire, and here the untraced run stays inside its own tolerance.
+	results := map[string]result{
+		"EngineStep":       {ReqPerS: 1_850_000, AllocsPerOp: 100, samples: 3},
+		"EngineStepTraced": {ReqPerS: 1_800_000, AllocsPerOp: 110, samples: 3},
+	}
+	lines, failures := compare(base, results, 0.10, 0.15)
+	if len(failures) != 0 {
+		t.Fatalf("within-overhead run failed: %v", failures)
+	}
+	found := false
+	for _, l := range lines {
+		if strings.Contains(l, "vs EngineStep") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("relative comparison not reported: %v", lines)
+	}
+
+	// Traced falls more than 10% below untraced: the overhead gate fires
+	// even though the traced absolute pin alone would pass.
+	results["EngineStepTraced"] = result{ReqPerS: 1_600_000, AllocsPerOp: 110, samples: 3}
+	results["EngineStep"] = result{ReqPerS: 2_000_000, AllocsPerOp: 100, samples: 3}
+	_, failures = compare(base, results, 0.10, 0.15)
+	if len(failures) != 1 || !strings.Contains(failures[0], "overhead limit") {
+		t.Fatalf("overhead regression not caught: %v", failures)
+	}
+
+	// The reference benchmark missing from the run is a hard failure — an
+	// unanchored relative pin guards nothing.
+	delete(results, "EngineStep")
+	results["EngineStepTraced"] = result{ReqPerS: 1_900_000, AllocsPerOp: 110, samples: 3}
+	_, failures = compare(base, results, 0.10, 0.15)
+	foundMissing := false
+	for _, f := range failures {
+		if strings.Contains(f, "relative baseline EngineStep missing") {
+			foundMissing = true
+		}
+	}
+	if !foundMissing {
+		t.Fatalf("missing reference not reported: %v", failures)
+	}
+}
+
 func TestMedian(t *testing.T) {
 	if m := median([]float64{3, 1, 2}); m != 2 {
 		t.Errorf("odd median = %v", m)

@@ -14,6 +14,8 @@
 //	experiments -run fig7 -artifact-dir out/         # one artifact per cell
 //	experiments -run fig8 -sample-every 50000 -json fig8.json
 //	experiments -validate-artifact out.json          # parse + validate, exit
+//	experiments -validate-trace run.trace.json       # parse + validate a Chrome trace, exit
+//	experiments -run all -debug-addr localhost:6060  # live progress + pprof while the sweep runs
 package main
 
 import (
@@ -22,6 +24,7 @@ import (
 	"os"
 	"time"
 
+	"repro/internal/events"
 	"repro/internal/experiments"
 	"repro/internal/metrics"
 	"repro/internal/obs"
@@ -39,6 +42,8 @@ func main() {
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile (runtime/pprof) to this path")
 	memprofile := flag.String("memprofile", "", "write a heap profile (runtime/pprof) to this path")
 	validate := flag.String("validate-artifact", "", "read and validate the JSON artifact at this path, then exit (CI smoke check)")
+	validateTrace := flag.String("validate-trace", "", "read and validate the Chrome trace-event JSON at this path, then exit (CI smoke check)")
+	debugAddr := flag.String("debug-addr", "", "serve live sweep introspection (progress, expvar, pprof) on this address, e.g. localhost:6060")
 	flag.Parse()
 
 	if *validate != "" {
@@ -49,6 +54,19 @@ func main() {
 		fmt.Printf("%s: valid (schema %d, tool %s, %d cells, %d summary values)\n",
 			*validate, art.Manifest.SchemaVersion, art.Manifest.Tool,
 			len(art.Cells), len(art.Summary))
+		return
+	}
+	if *validateTrace != "" {
+		f, err := os.Open(*validateTrace)
+		if err != nil {
+			fail(err)
+		}
+		n, err := events.ValidateChromeTrace(f)
+		f.Close()
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("%s: valid (%d trace events)\n", *validateTrace, n)
 		return
 	}
 
@@ -67,6 +85,21 @@ func main() {
 		ArtifactDir: *artifactDir,
 		Serial:      !*parallel,
 		NoStream:    !*stream,
+	}
+	if *debugAddr != "" {
+		counters := &events.RunCounters{}
+		counters.Start()
+		opts.Counters = counters
+		d, derr := obs.StartDebugServer(*debugAddr, obs.DebugConfig{
+			Counters: counters,
+			Tool:     "experiments",
+			Workload: *run,
+		})
+		if derr != nil {
+			fail(derr)
+		}
+		defer d.Close()
+		fmt.Fprintf(os.Stderr, "experiments: debug endpoint on http://%s/\n", d.Addr())
 	}
 	w := os.Stdout
 

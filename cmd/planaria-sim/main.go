@@ -11,6 +11,11 @@
 //
 //	planaria-sim -app CFM -pf planaria -json out.json -sample-every 50000
 //	planaria-sim -app CFM -pf planaria -cpuprofile cpu.out -memprofile mem.out
+//
+// Decision-level tracing and live introspection (see docs/TRACING.md):
+//
+//	planaria-sim -app CFM -pf planaria -trace-out run.trace.json -attrib
+//	planaria-sim -app CFM -pf planaria -progress -debug-addr localhost:6060
 package main
 
 import (
@@ -20,9 +25,11 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"sync"
 	"syscall"
 	"time"
 
+	"repro/internal/events"
 	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -43,6 +50,10 @@ func main() {
 	sampleCycles := flag.Uint64("sample-cycles", 0, "emit a windowed time-series sample every N trace cycles (0 disables)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile (runtime/pprof) to this path")
 	memprofile := flag.String("memprofile", "", "write a heap profile (runtime/pprof) to this path")
+	traceOut := flag.String("trace-out", "", "record decision events and write a Chrome trace-event JSON (Perfetto-loadable) to this path")
+	attrib := flag.Bool("attrib", false, "record decision events and print the per-prefetcher attribution table")
+	debugAddr := flag.String("debug-addr", "", "serve live run introspection (progress, attribution, expvar, pprof) on this address, e.g. localhost:6060")
+	progress := flag.Bool("progress", false, "print a one-line progress report to stderr every second")
 	flag.Parse()
 
 	// Build the record stream: from a binary trace file (never materialized
@@ -101,7 +112,42 @@ func main() {
 	cfg.SampleEvery = *sampleEvery
 	cfg.SampleEveryCycles = *sampleCycles
 	cfg.ParallelChannels = *parallel
+	// Event tracing: -trace-out needs the per-channel rings; -attrib and
+	// -debug-addr only need the attribution counters (ring size 0).
+	if *traceOut != "" {
+		cfg.Events = &events.Config{RingSize: events.DefaultRingSize}
+	} else if *attrib || *debugAddr != "" {
+		cfg.Events = &events.Config{}
+	}
+	var counters *events.RunCounters
+	if *progress || *debugAddr != "" {
+		counters = &events.RunCounters{}
+		counters.SetTotal(int64(records))
+		cfg.Counters = counters
+	}
 	eng := sim.New(cfg)
+
+	var debug *obs.DebugServer
+	if *debugAddr != "" {
+		d, err := obs.StartDebugServer(*debugAddr, obs.DebugConfig{
+			Counters:   counters,
+			Recorder:   eng.Events(),
+			Tool:       "planaria-sim",
+			Workload:   name,
+			Prefetcher: eng.PrefetcherName(),
+		})
+		if err != nil {
+			fatal(err)
+		}
+		debug = d
+		defer debug.Close()
+		fmt.Fprintf(os.Stderr, "planaria-sim: debug endpoint on http://%s/\n", debug.Addr())
+	}
+	var stopProgress func()
+	if *progress {
+		stopProgress = startProgressPrinter(counters)
+		defer stopProgress()
+	}
 
 	var stopProfile func() error
 	if *cpuprofile != "" {
@@ -127,6 +173,9 @@ func main() {
 	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	rep, err := eng.RunWarmStreamCtx(ctx, s, name, *warmup)
 	stopSignals()
+	if stopProgress != nil {
+		stopProgress()
+	}
 	if err != nil && !rep.Truncated {
 		// Nothing ran (e.g. a warmup fraction on an unsized stream): a
 		// configuration error, not a degraded run — no partial results
@@ -152,8 +201,26 @@ func main() {
 		fmt.Printf("late prefetch hits: %d\n", rep.LatePrefetchHits)
 		fmt.Printf("cycles: %d\n", rep.Cycles)
 	}
+
+	// Event-level outputs. All of these are exported even on a truncated
+	// run — a trace of the records before a failure is exactly what one
+	// debugs with.
+	var attribSnap *events.AttribSnapshot
+	if rec := eng.Events(); rec != nil {
+		attribSnap = rec.Attrib()
+	}
+	if *attrib && attribSnap != nil {
+		printAttrib(attribSnap)
+	}
+	if *traceOut != "" {
+		if werr := writeChromeTrace(*traceOut, eng, name); werr != nil {
+			fatal(werr)
+		}
+		fmt.Printf("wrote %s (Chrome trace-event JSON; open in ui.perfetto.dev)\n", *traceOut)
+	}
 	if *jsonPath != "" {
-		if err := obs.WriteFile(*jsonPath, obs.Artifact{Manifest: man, Report: &rep}); err != nil {
+		art := obs.Artifact{Manifest: man, Report: &rep, Attribution: attribSnap}
+		if err := obs.WriteFile(*jsonPath, art); err != nil {
 			fatal(err)
 		}
 		samples := 0
@@ -170,12 +237,91 @@ func main() {
 	if err != nil {
 		// Degraded run: everything salvageable was printed and written;
 		// the exit status still reports the failure. os.Exit skips the
-		// deferred profile stop, so flush it explicitly.
+		// deferred cleanups, so flush the profile and close the debug
+		// server explicitly.
 		if stopProfile != nil {
 			stopProfile()
 		}
+		if debug != nil {
+			debug.Close()
+		}
 		os.Exit(1)
 	}
+}
+
+// startProgressPrinter prints a one-line progress report to stderr every
+// second. The returned stop function is idempotent.
+func startProgressPrinter(c *events.RunCounters) func() {
+	done := make(chan struct{})
+	finished := make(chan struct{})
+	go func() {
+		defer close(finished)
+		tick := time.NewTicker(time.Second)
+		defer tick.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-tick.C:
+				p := c.Progress()
+				if p.Total > 0 {
+					fmt.Fprintf(os.Stderr, "planaria-sim: %d/%d records (%.1f%%), %.0f req/s, ETA %.0fs\n",
+						p.Records, p.Total, 100*p.Fraction, p.ReqPerSec, p.ETASec)
+				} else {
+					fmt.Fprintf(os.Stderr, "planaria-sim: %d records, %.0f req/s\n",
+						p.Records, p.ReqPerSec)
+				}
+			}
+		}
+	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			close(done)
+			<-finished
+		})
+	}
+}
+
+// printAttrib renders the attribution table the way docs/TRACING.md shows it:
+// one row per sub-prefetcher with its lifecycle totals, then the arbitration
+// suppression histogram.
+func printAttrib(s *events.AttribSnapshot) {
+	fmt.Println("\nprefetch lifecycle attribution (event-level):")
+	fmt.Printf("  %-10s %10s %10s %10s %10s %14s\n",
+		"origin", "issued", "filled", "used", "late", "evicted-unused")
+	for _, o := range s.Origins {
+		fmt.Printf("  %-10s %10d %10d %10d %10d %14d\n",
+			o.Origin, o.Issued, o.Filled, o.Used, o.Late, o.EvictedUnused)
+	}
+	if len(s.Suppression) > 0 {
+		fmt.Println("  arbitration suppression reasons:")
+		for _, r := range []string{"slp-priority", "no-metadata", "disabled"} {
+			if n, ok := s.Suppression[r]; ok {
+				fmt.Printf("    %-14s %10d\n", r, n)
+			}
+		}
+	}
+	fmt.Printf("  learning: %d SLP promotions, %d SLP snapshots, %d TLP neighbor matches\n",
+		s.SLPPromotions, s.SLPSnapshots, s.TLPNeighborMatches)
+	if s.DroppedEvents > 0 {
+		fmt.Printf("  (ring overflow dropped %d events; attribution counters are unaffected)\n",
+			s.DroppedEvents)
+	}
+}
+
+// writeChromeTrace exports the engine's event rings to path.
+func writeChromeTrace(path string, eng *sim.Engine, workload string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	meta := events.TraceMeta{Tool: "planaria-sim", Workload: workload, Prefetcher: eng.PrefetcherName()}
+	if err := events.WriteChromeTrace(f, eng.Events(), meta); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func fatal(err error) {

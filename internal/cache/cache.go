@@ -286,6 +286,7 @@ type EvictInfo struct {
 	Block      addr.BlockNum // the evicted block
 	Dirty      bool          // requires a writeback
 	Prefetched bool          // was an unused prefetch
+	Origin     uint8         // origin tag of the evicted prefetch (0 = untagged)
 }
 
 // Fill inserts block b after a miss (demand or prefetch). If the block is
@@ -321,7 +322,7 @@ func (c *Cache) FillOrigin(b addr.BlockNum, prefetch, write bool, origin uint8) 
 	if victim == -1 {
 		victim = c.victim(set)
 		v := &set[victim]
-		ev = EvictInfo{Valid: true, Block: c.reconstruct(b, v.tag), Dirty: v.dirty, Prefetched: v.prefetched}
+		ev = EvictInfo{Valid: true, Block: c.reconstruct(b, v.tag), Dirty: v.dirty, Prefetched: v.prefetched, Origin: v.origin}
 		c.stats.Evictions++
 		if v.dirty {
 			c.stats.Writebacks++

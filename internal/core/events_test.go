@@ -1,0 +1,230 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/addr"
+	"repro/internal/events"
+)
+
+// captureSink records every emitted event for inspection.
+type captureSink struct{ evs []events.Event }
+
+func (c *captureSink) Emit(ev events.Event) { c.evs = append(c.evs, ev) }
+
+func (c *captureSink) byKind(k events.Kind) []events.Event {
+	var out []events.Event
+	for _, ev := range c.evs {
+		if ev.Kind == k {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+// lastArbitration returns the most recent arbitration event, failing the
+// test when none was emitted.
+func lastArbitration(t *testing.T, c *captureSink) events.Event {
+	t.Helper()
+	arbs := c.byKind(events.KindArbitration)
+	if len(arbs) == 0 {
+		t.Fatal("no arbitration event emitted")
+	}
+	return arbs[len(arbs)-1]
+}
+
+func TestArbitrationSLPPriority(t *testing.T) {
+	p, slpPage, _, cycle := buildPlanaria(Decoupled)
+	sink := &captureSink{}
+	p.SetEventSink(sink)
+	got := p.Issue(acc(slpPage, 0, 4, cycle, true))
+	if len(got) == 0 {
+		t.Fatal("SLP-covered page issued nothing")
+	}
+	arb := lastArbitration(t, sink)
+	if arb.Origin != events.OriginSLP || arb.Reason != events.ReasonSLPPriority {
+		t.Fatalf("arbitration = origin %v reason %v, want slp/slp-priority", arb.Origin, arb.Reason)
+	}
+	if int(arb.N) != len(got) {
+		t.Fatalf("candidate count N=%d, issued %d", arb.N, len(got))
+	}
+	if arb.Cycle != cycle {
+		t.Fatalf("arbitration cycle %d, trigger at %d", arb.Cycle, cycle)
+	}
+}
+
+func TestArbitrationNoMetadataFallsToTLP(t *testing.T) {
+	p, _, tgt, cycle := buildPlanaria(Decoupled)
+	sink := &captureSink{}
+	p.SetEventSink(sink)
+	got := p.Issue(acc(tgt, 0, 3, cycle, true))
+	if len(got) == 0 {
+		t.Fatal("TLP-covered page issued nothing")
+	}
+	arb := lastArbitration(t, sink)
+	if arb.Origin != events.OriginTLP || arb.Reason != events.ReasonNoMetadata {
+		t.Fatalf("arbitration = origin %v reason %v, want tlp/no-metadata", arb.Origin, arb.Reason)
+	}
+}
+
+func TestArbitrationReasonDisabledTLP(t *testing.T) {
+	// SLP wins while TLP is configured off: the suppression reason must say
+	// "disabled", not "slp-priority" — there was no contest.
+	cfg := DefaultConfig()
+	cfg.DisableTLP = true
+	cfg.SLP.Timeout = 100
+	p := New(cfg)
+	sink := &captureSink{}
+	p.SetEventSink(sink)
+	slpPage := addr.PageNum(0x5000)
+	cycle := uint64(0)
+	for _, o := range []int{1, 4, 7, 9} {
+		p.Train(acc(slpPage, 0, o, cycle, true))
+		cycle += 5
+	}
+	cycle += 200
+	for i := 0; i < 200; i++ {
+		p.Train(acc(addr.PageNum(0x9000)+addr.PageNum(i), 0, i%16, cycle, true))
+		cycle++
+	}
+	if got := p.Issue(acc(slpPage, 0, 4, cycle, true)); len(got) == 0 {
+		t.Fatal("SLP-only issued nothing")
+	}
+	arb := lastArbitration(t, sink)
+	if arb.Origin != events.OriginSLP || arb.Reason != events.ReasonDisabled {
+		t.Fatalf("arbitration = origin %v reason %v, want slp/disabled", arb.Origin, arb.Reason)
+	}
+}
+
+func TestArbitrationReasonDisabledSLP(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.DisableSLP = true
+	p := New(cfg)
+	sink := &captureSink{}
+	p.SetEventSink(sink)
+	cycle := uint64(0)
+	for _, o := range []int{1, 2, 3, 4, 5, 6} {
+		p.Train(acc(0x100, 0, o, cycle, true))
+		cycle++
+	}
+	for _, o := range []int{1, 2, 3, 4} {
+		p.Train(acc(0x104, 0, o, cycle, true))
+		cycle++
+	}
+	if got := p.Issue(acc(0x104, 0, 4, cycle, true)); len(got) == 0 {
+		t.Fatal("TLP-only issued nothing")
+	}
+	arb := lastArbitration(t, sink)
+	if arb.Origin != events.OriginTLP || arb.Reason != events.ReasonDisabled {
+		t.Fatalf("arbitration = origin %v reason %v, want tlp/disabled", arb.Origin, arb.Reason)
+	}
+}
+
+func TestNoArbitrationWithoutIssue(t *testing.T) {
+	p, slpPage, _, cycle := buildPlanaria(Decoupled)
+	sink := &captureSink{}
+	p.SetEventSink(sink)
+	// A hit never arbitrates; neither does a miss on an unknown page when
+	// TLP finds no neighbour.
+	p.Issue(acc(slpPage, 0, 4, cycle, false))
+	p.Issue(acc(addr.PageNum(0xdead0), 0, 0, cycle, true))
+	if arbs := sink.byKind(events.KindArbitration); len(arbs) != 0 {
+		t.Fatalf("%d arbitration events for triggers that issued nothing", len(arbs))
+	}
+}
+
+func TestSLPLearningEvents(t *testing.T) {
+	// Train an SLP footprint with the sink attached from the start: the
+	// filter-table promotion and the snapshot retirement into the PT must
+	// both surface as learning events carrying the page number.
+	cfg := DefaultConfig()
+	cfg.SLP.Timeout = 100
+	p := New(cfg)
+	sink := &captureSink{}
+	p.SetEventSink(sink)
+	slpPage := addr.PageNum(0x5000)
+	cycle := uint64(0)
+	for _, o := range []int{1, 4, 7, 9} {
+		p.Train(acc(slpPage, 0, o, cycle, true))
+		cycle += 5
+	}
+	cycle += 200
+	for i := 0; i < 200; i++ {
+		p.Train(acc(addr.PageNum(0x9000)+addr.PageNum(i), 0, i%16, cycle, true))
+		cycle++
+	}
+	promotes := sink.byKind(events.KindSLPPromote)
+	if len(promotes) == 0 {
+		t.Fatal("no slp-promote event")
+	}
+	found := false
+	for _, ev := range promotes {
+		if ev.Aux == uint64(slpPage) {
+			found = true
+			if ev.Origin != events.OriginSLP {
+				t.Fatalf("promote origin %v", ev.Origin)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("no promote for page %#x (got %v)", uint64(slpPage), promotes)
+	}
+	snaps := sink.byKind(events.KindSLPSnapshot)
+	found = false
+	for _, ev := range snaps {
+		if ev.Aux == uint64(slpPage) {
+			found = true
+			if ev.N == 0 {
+				t.Fatal("snapshot with an empty footprint bit count")
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("no snapshot for page %#x", uint64(slpPage))
+	}
+}
+
+func TestTLPNeighborEvent(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.DisableSLP = true
+	p := New(cfg)
+	sink := &captureSink{}
+	p.SetEventSink(sink)
+	nb, tgt := addr.PageNum(0x100), addr.PageNum(0x104)
+	cycle := uint64(0)
+	for _, o := range []int{1, 2, 3, 4, 5, 6} {
+		p.Train(acc(nb, 0, o, cycle, true))
+		cycle++
+	}
+	for _, o := range []int{1, 2, 3, 4} {
+		p.Train(acc(tgt, 0, o, cycle, true))
+		cycle++
+	}
+	got := p.Issue(acc(tgt, 0, 4, cycle, true))
+	if len(got) == 0 {
+		t.Fatal("TLP issued nothing")
+	}
+	matches := sink.byKind(events.KindTLPNeighbor)
+	if len(matches) == 0 {
+		t.Fatal("no tlp-neighbor event for a successful transfer")
+	}
+	m := matches[len(matches)-1]
+	if m.Aux != uint64(nb) {
+		t.Fatalf("neighbour page %#x, want %#x", m.Aux, uint64(nb))
+	}
+	if int(m.N) != len(got) {
+		t.Fatalf("transfer count N=%d, issued %d", m.N, len(got))
+	}
+}
+
+func TestEventSinkDetach(t *testing.T) {
+	// Installing a nil sink turns emission back off everywhere.
+	p, slpPage, _, cycle := buildPlanaria(Decoupled)
+	sink := &captureSink{}
+	p.SetEventSink(sink)
+	p.SetEventSink(nil)
+	p.Issue(acc(slpPage, 0, 4, cycle, true))
+	if len(sink.evs) != 0 {
+		t.Fatalf("%d events after detaching the sink", len(sink.evs))
+	}
+}

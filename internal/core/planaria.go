@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/addr"
+	"repro/internal/events"
 	"repro/internal/prefetch"
 )
 
@@ -68,6 +69,11 @@ type Planaria struct {
 	tlpIssues uint64 // triggers answered by TLP
 
 	lastOrigin string // sub-prefetcher that answered the most recent Issue
+
+	// sink receives decision events (arbitration outcomes here, learning
+	// milestones from the sub-prefetchers); nil when tracing is disabled,
+	// which keeps the hot path at one nil check per decision.
+	sink events.Sink
 }
 
 // New builds a Planaria instance.
@@ -96,6 +102,15 @@ func (p *Planaria) Reset() {
 	p.tlp.Reset()
 	p.slpIssues, p.tlpIssues = 0, 0
 	p.lastOrigin = ""
+}
+
+// SetEventSink installs the decision-event sink on the coordinator and both
+// sub-prefetchers (nil disables tracing). The engine calls it once per
+// channel when event tracing is enabled; see docs/TRACING.md.
+func (p *Planaria) SetEventSink(s events.Sink) {
+	p.sink = s
+	p.slp.SetEventSink(s)
+	p.tlp.SetEventSink(s)
 }
 
 // SLP exposes the intra-page sub-prefetcher (for tests and analysis).
@@ -169,6 +184,18 @@ func (p *Planaria) Issue(a prefetch.Access) []addr.BlockNum {
 		if c := p.slp.Issue(a); len(c) > 0 {
 			p.slpIssues++
 			p.lastOrigin = "slp"
+			if p.sink != nil {
+				// SLP won the trigger: TLP was suppressed by the
+				// serial-issuing priority rule (or is simply off).
+				reason := events.ReasonSLPPriority
+				if p.cfg.DisableTLP {
+					reason = events.ReasonDisabled
+				}
+				p.sink.Emit(events.Event{
+					Kind: events.KindArbitration, Cycle: a.Cycle, Block: a.Block,
+					Origin: events.OriginSLP, Reason: reason, N: uint16(len(c)),
+				})
+			}
 			return c
 		}
 	}
@@ -176,6 +203,18 @@ func (p *Planaria) Issue(a prefetch.Access) []addr.BlockNum {
 		if c := p.tlp.Issue(a); len(c) > 0 {
 			p.tlpIssues++
 			p.lastOrigin = "tlp"
+			if p.sink != nil {
+				// The trigger fell through to TLP: SLP had no usable
+				// pattern for the page (or is disabled).
+				reason := events.ReasonNoMetadata
+				if p.cfg.DisableSLP {
+					reason = events.ReasonDisabled
+				}
+				p.sink.Emit(events.Event{
+					Kind: events.KindArbitration, Cycle: a.Cycle, Block: a.Block,
+					Origin: events.OriginTLP, Reason: reason, N: uint16(len(c)),
+				})
+			}
 			return c
 		}
 	}

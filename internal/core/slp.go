@@ -10,6 +10,7 @@ package core
 import (
 	"repro/internal/addr"
 	"repro/internal/bitmap"
+	"repro/internal/events"
 	"repro/internal/prefetch"
 )
 
@@ -74,7 +75,14 @@ type SLP struct {
 	promotions uint64 // FT→AT
 	snapshots  uint64 // AT→PT
 	issues     uint64 // Issue calls that produced prefetches
+
+	// sink receives learning-milestone events (FT→AT promotions and
+	// AT→PT snapshot captures); nil when tracing is disabled.
+	sink events.Sink
 }
+
+// SetEventSink installs the decision-event sink (nil disables tracing).
+func (s *SLP) SetEventSink(sk events.Sink) { s.sink = sk }
 
 // NewSLP builds an SLP instance.
 func NewSLP(cfg SLPConfig) *SLP {
@@ -181,6 +189,12 @@ func (s *SLP) promote(i int, now uint64) {
 	s.ft[i] = ftEntry{}
 	delete(s.ftIdx, f.page)
 	s.promotions++
+	if s.sink != nil {
+		s.sink.Emit(events.Event{
+			Kind: events.KindSLPPromote, Cycle: now, Aux: uint64(f.page),
+			Origin: events.OriginSLP, N: uint16(f.bits.Count()),
+		})
+	}
 	atIdx := -1
 	for j := range s.at {
 		if !s.at[j].valid {
@@ -226,6 +240,12 @@ func (s *SLP) capture(e atEntry) {
 	s.snapshots++
 	idx := uint64(e.page) & s.ptMask
 	s.pt[idx] = ptEntry{tag: uint64(e.page), bits: e.bits, valid: true}
+	if s.sink != nil {
+		s.sink.Emit(events.Event{
+			Kind: events.KindSLPSnapshot, Cycle: e.last, Aux: uint64(e.page),
+			Origin: events.OriginSLP, N: uint16(e.bits.Count()),
+		})
+	}
 }
 
 // Pattern returns the recorded snapshot for page p, if any (exported for the

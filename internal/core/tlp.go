@@ -3,6 +3,7 @@ package core
 import (
 	"repro/internal/addr"
 	"repro/internal/bitmap"
+	"repro/internal/events"
 	"repro/internal/prefetch"
 )
 
@@ -45,7 +46,13 @@ type TLP struct {
 	idx map[addr.PageNum]int
 
 	issues uint64
+
+	// sink receives neighbour-match events; nil when tracing is disabled.
+	sink events.Sink
 }
+
+// SetEventSink installs the decision-event sink (nil disables tracing).
+func (t *TLP) SetEventSink(sk events.Sink) { t.sink = sk }
 
 // NewTLP builds a TLP instance.
 func NewTLP(cfg TLPConfig) *TLP {
@@ -171,7 +178,7 @@ func (t *TLP) Issue(a prefetch.Access) []addr.BlockNum {
 		return nil
 	}
 	p := a.Page()
-	_, transfer, ok := t.BestNeighbor(p)
+	neighbor, transfer, ok := t.BestNeighbor(p)
 	if !ok {
 		return nil
 	}
@@ -182,6 +189,12 @@ func (t *TLP) Issue(a prefetch.Access) []addr.BlockNum {
 		out = append(out, p.Block(addr.OffsetOf(ch, o)))
 	}
 	t.issues++
+	if t.sink != nil {
+		t.sink.Emit(events.Event{
+			Kind: events.KindTLPNeighbor, Cycle: a.Cycle, Block: a.Block,
+			Aux: uint64(neighbor), Origin: events.OriginTLP, N: uint16(len(offs)),
+		})
+	}
 	return out
 }
 

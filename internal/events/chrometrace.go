@@ -1,0 +1,223 @@
+package events
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// This file exports recorded event rings as Chrome trace-event JSON — the
+// "JSON Array/Object Format" understood by Perfetto (ui.perfetto.dev) and
+// chrome://tracing. One track (tid) per channel: prefetch lifecycles render
+// as complete ("X") slices from issue to fill, annotated with their
+// terminal outcome (used / late / evicted-unused), and arbitration
+// decisions, SLP learning milestones, TLP neighbour matches, demand misses
+// and unmatched lifecycle events render as instant ("i") events on the same
+// track. Timestamps are trace cycles written into the format's microsecond
+// field, so "1 µs" in the viewer is one memory-controller cycle.
+
+// TraceMeta labels an exported trace.
+type TraceMeta struct {
+	Tool       string // producing command, e.g. "planaria-sim"
+	Workload   string
+	Prefetcher string
+}
+
+// chromeEvent is one entry of the trace-event array. Args is a plain map:
+// encoding/json sorts map keys, which keeps the export byte-deterministic
+// for the golden-file test.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   uint64         `json:"ts"`
+	Dur  uint64         `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	S    string         `json:"s,omitempty"` // instant-event scope
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromeTrace is the JSON Object Format envelope.
+type chromeTrace struct {
+	TraceEvents     []chromeEvent     `json:"traceEvents"`
+	DisplayTimeUnit string            `json:"displayTimeUnit"`
+	OtherData       map[string]string `json:"otherData,omitempty"`
+}
+
+// WriteChromeTrace exports the recorder's rings as Chrome trace-event JSON.
+// It fails when the recorder has no rings (attribution-only mode records
+// nothing to export). Call after the run has returned — rings are not safe
+// to read mid-run.
+func WriteChromeTrace(w io.Writer, r *Recorder, meta TraceMeta) error {
+	if r == nil || !r.HasRings() {
+		return fmt.Errorf("events: no event rings to export (tracing ran in attribution-only mode)")
+	}
+	out := chromeTrace{
+		DisplayTimeUnit: "ms",
+		OtherData: map[string]string{
+			"tool":            meta.Tool,
+			"workload":        meta.Workload,
+			"prefetcher":      meta.Prefetcher,
+			"time_unit":       "1 exported microsecond = 1 memory-controller cycle",
+			"dropped_events":  fmt.Sprintf("%d", r.Dropped()),
+			"events_retained": fmt.Sprintf("%d", retained(r)),
+		},
+	}
+	procName := meta.Tool
+	if meta.Workload != "" || meta.Prefetcher != "" {
+		procName = fmt.Sprintf("%s %s/%s", meta.Tool, meta.Workload, meta.Prefetcher)
+	}
+	out.TraceEvents = append(out.TraceEvents, chromeEvent{
+		Name: "process_name", Ph: "M",
+		Args: map[string]any{"name": procName},
+	})
+	for ch := 0; ch < r.Channels(); ch++ {
+		out.TraceEvents = append(out.TraceEvents, chromeEvent{
+			Name: "thread_name", Ph: "M", Tid: ch,
+			Args: map[string]any{"name": fmt.Sprintf("channel %d", ch)},
+		})
+		out.TraceEvents = appendChannel(out.TraceEvents, ch, r.Channel(ch).Ring().Events())
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	if err := enc.Encode(out); err != nil {
+		return fmt.Errorf("events: encode chrome trace: %w", err)
+	}
+	return nil
+}
+
+func retained(r *Recorder) int {
+	n := 0
+	for ch := 0; ch < r.Channels(); ch++ {
+		if ring := r.Channel(ch).Ring(); ring != nil {
+			n += ring.Len()
+		}
+	}
+	return n
+}
+
+// appendChannel renders one channel's events. Issue events open "X" slices
+// whose duration spans to the fill-ready cycle; later Fill / Used /
+// EvictUnused events for the same block update the open slice's outcome
+// argument instead of emitting separately, so a prefetch's whole life reads
+// as one annotated slice. Lifecycle events whose issue was already dropped
+// from the ring fall back to instants.
+func appendChannel(dst []chromeEvent, ch int, evs []Event) []chromeEvent {
+	open := make(map[uint64]int) // block → index in dst of its open slice
+	for _, ev := range evs {
+		blk := uint64(ev.Block)
+		switch ev.Kind {
+		case KindDemand:
+			if ev.Flags&FlagHit != 0 {
+				continue // hits are context-free noise at trace scale
+			}
+			dst = append(dst, instant(ch, ev, "miss", "demand", map[string]any{
+				"block": hex(blk),
+				"write": ev.Flags&FlagWrite != 0,
+				"late":  ev.Flags&FlagLate != 0,
+			}))
+		case KindArbitration:
+			dst = append(dst, instant(ch, ev, "arb "+ev.Origin.String(), "arbitration", map[string]any{
+				"issued_by":  ev.Origin.String(),
+				"suppressed": ev.Reason.String(),
+				"candidates": ev.N,
+				"block":      hex(blk),
+			}))
+		case KindSLPPromote:
+			dst = append(dst, instant(ch, ev, "slp-promote", "learn", map[string]any{
+				"page": hex(ev.Aux),
+			}))
+		case KindSLPSnapshot:
+			dst = append(dst, instant(ch, ev, "slp-snapshot", "learn", map[string]any{
+				"page": hex(ev.Aux),
+				"bits": ev.N,
+			}))
+		case KindTLPNeighbor:
+			dst = append(dst, instant(ch, ev, "tlp-neighbor", "learn", map[string]any{
+				"neighbor": hex(ev.Aux),
+				"transfer": ev.N,
+				"block":    hex(blk),
+			}))
+		case KindIssue:
+			dur := uint64(0)
+			if ev.Aux > ev.Cycle {
+				dur = ev.Aux - ev.Cycle
+			}
+			open[blk] = len(dst)
+			dst = append(dst, chromeEvent{
+				Name: "prefetch " + ev.Origin.String(), Cat: "prefetch",
+				Ph: "X", Ts: ev.Cycle, Dur: dur, Tid: ch,
+				Args: map[string]any{
+					"block":   hex(blk),
+					"origin":  ev.Origin.String(),
+					"outcome": "in-flight",
+				},
+			})
+		case KindFill:
+			outcome := "filled"
+			if ev.Flags&FlagLate != 0 {
+				outcome = "late"
+			}
+			dst = updateOrInstant(dst, open, ch, ev, outcome)
+		case KindUsed:
+			dst = updateOrInstant(dst, open, ch, ev, "used")
+		case KindLateHit:
+			dst = append(dst, instant(ch, ev, "late-hit", "lifecycle", map[string]any{
+				"block":  hex(blk),
+				"origin": ev.Origin.String(),
+				"ready":  ev.Aux,
+			}))
+		case KindEvictUnused:
+			dst = updateOrInstant(dst, open, ch, ev, "evicted-unused")
+		}
+	}
+	return dst
+}
+
+// updateOrInstant annotates the open slice for ev.Block with the outcome,
+// or emits the event as a standalone instant when no slice is open (its
+// issue was dropped from the ring before export).
+func updateOrInstant(dst []chromeEvent, open map[uint64]int, ch int, ev Event, outcome string) []chromeEvent {
+	if i, ok := open[uint64(ev.Block)]; ok {
+		dst[i].Args["outcome"] = outcome
+		return dst
+	}
+	return append(dst, instant(ch, ev, ev.Kind.String(), "lifecycle", map[string]any{
+		"block":   hex(uint64(ev.Block)),
+		"origin":  ev.Origin.String(),
+		"outcome": outcome,
+	}))
+}
+
+func instant(ch int, ev Event, name, cat string, args map[string]any) chromeEvent {
+	return chromeEvent{Name: name, Cat: cat, Ph: "i", Ts: ev.Cycle, Tid: ch, S: "t", Args: args}
+}
+
+func hex(v uint64) string { return fmt.Sprintf("0x%x", v) }
+
+// ValidateChromeTrace parses an exported trace and checks its structural
+// invariants (non-empty event array, every event named with a known phase).
+// It returns the event count — the CI smoke step and tests use it to assert
+// a run actually produced a loadable trace.
+func ValidateChromeTrace(rd io.Reader) (int, error) {
+	var t chromeTrace
+	dec := json.NewDecoder(rd)
+	if err := dec.Decode(&t); err != nil {
+		return 0, fmt.Errorf("events: parse chrome trace: %w", err)
+	}
+	if len(t.TraceEvents) == 0 {
+		return 0, fmt.Errorf("events: chrome trace has no events")
+	}
+	for i, ev := range t.TraceEvents {
+		if ev.Name == "" {
+			return 0, fmt.Errorf("events: trace event %d has no name", i)
+		}
+		switch ev.Ph {
+		case "M", "X", "i", "C", "B", "E":
+		default:
+			return 0, fmt.Errorf("events: trace event %d (%s) has unknown phase %q", i, ev.Name, ev.Ph)
+		}
+	}
+	return len(t.TraceEvents), nil
+}

@@ -1,0 +1,71 @@
+package events
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// RunCounters is the live progress state of one (or several sequential)
+// engine runs: the engine updates Records at chunk granularity, so the cost
+// with progress enabled is one atomic store or add per ~4096 records, and
+// any goroutine — the -progress printer, the -debug-addr endpoint — can
+// read a consistent snapshot at any time.
+type RunCounters struct {
+	records atomic.Int64
+	total   atomic.Int64
+	start   atomic.Int64 // wall-clock start, UnixNano; 0 = not started
+}
+
+// Start stamps the wall-clock start time (idempotent: only the first call
+// sticks, so req/s stays meaningful across sequential runs sharing one
+// counter set).
+func (c *RunCounters) Start() {
+	c.start.CompareAndSwap(0, time.Now().UnixNano())
+}
+
+// SetTotal declares the expected total record count (streams with a known
+// RecordCount); ≤ 0 means unknown and disables fraction/ETA.
+func (c *RunCounters) SetTotal(n int64) { c.total.Store(n) }
+
+// Add advances the processed-record count by n (parallel channel workers,
+// one call per chunk).
+func (c *RunCounters) Add(n int64) { c.records.Add(n) }
+
+// Store sets the processed-record count outright (single-owner consumers
+// and tests; the engine's run paths use Add).
+func (c *RunCounters) Store(n int64) { c.records.Store(n) }
+
+// Records returns the records processed so far.
+func (c *RunCounters) Records() int64 { return c.records.Load() }
+
+// Progress is one self-describing progress snapshot, JSON-shaped for the
+// debug endpoint.
+type Progress struct {
+	Records    int64   `json:"records"`
+	Total      int64   `json:"total,omitempty"`    // 0 = unknown
+	Fraction   float64 `json:"fraction,omitempty"` // records/total when known
+	ElapsedSec float64 `json:"elapsed_seconds"`
+	ReqPerSec  float64 `json:"req_per_s"`
+	ETASec     float64 `json:"eta_seconds,omitempty"` // remaining/req_per_s when total known
+}
+
+// Progress returns the current progress snapshot.
+func (c *RunCounters) Progress() Progress {
+	p := Progress{Records: c.records.Load(), Total: c.total.Load()}
+	if p.Total < 0 {
+		p.Total = 0
+	}
+	if start := c.start.Load(); start > 0 {
+		p.ElapsedSec = time.Since(time.Unix(0, start)).Seconds()
+	}
+	if p.ElapsedSec > 0 {
+		p.ReqPerSec = float64(p.Records) / p.ElapsedSec
+	}
+	if p.Total > 0 {
+		p.Fraction = float64(p.Records) / float64(p.Total)
+		if p.ReqPerSec > 0 && p.Total > p.Records {
+			p.ETASec = float64(p.Total-p.Records) / p.ReqPerSec
+		}
+	}
+	return p
+}

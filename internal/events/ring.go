@@ -1,0 +1,62 @@
+package events
+
+import "sync/atomic"
+
+// Ring is a fixed-capacity drop-oldest event buffer. One goroutine pushes;
+// the buffer contents are read only after the producing run has stopped
+// (Events), while the drop counter is safe to read live (Dropped).
+type Ring struct {
+	buf     []Event
+	pos     int  // next write index
+	full    bool // the buffer has wrapped at least once
+	dropped atomic.Uint64
+}
+
+// NewRing builds a ring with the given capacity (minimum 1).
+func NewRing(capacity int) *Ring {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Ring{buf: make([]Event, capacity)}
+}
+
+// push appends ev, overwriting (and counting as dropped) the oldest event
+// once the ring is full. No allocation after construction.
+func (r *Ring) push(ev Event) {
+	if r.full {
+		r.dropped.Add(1)
+	}
+	r.buf[r.pos] = ev
+	r.pos++
+	if r.pos == len(r.buf) {
+		r.pos = 0
+		r.full = true
+	}
+}
+
+// Len returns the number of retained events.
+func (r *Ring) Len() int {
+	if r.full {
+		return len(r.buf)
+	}
+	return r.pos
+}
+
+// Cap returns the ring capacity.
+func (r *Ring) Cap() int { return len(r.buf) }
+
+// Dropped returns how many events were overwritten before being consumed.
+// Safe to call while the producer is still pushing.
+func (r *Ring) Dropped() uint64 { return r.dropped.Load() }
+
+// Events returns the retained events oldest-first. Call only after the
+// producing goroutine has stopped (the engine's run has returned).
+func (r *Ring) Events() []Event {
+	if !r.full {
+		return append([]Event(nil), r.buf[:r.pos]...)
+	}
+	out := make([]Event, 0, len(r.buf))
+	out = append(out, r.buf[r.pos:]...)
+	out = append(out, r.buf[:r.pos]...)
+	return out
+}

@@ -10,6 +10,7 @@ import (
 	"sync"
 
 	"repro/internal/analysis"
+	"repro/internal/events"
 	"repro/internal/metrics"
 	"repro/internal/sim"
 	"repro/internal/workloads"
@@ -46,6 +47,12 @@ type Options struct {
 	// "<app>_<prefetcher>.json", alongside whatever text tables the
 	// caller prints.
 	ArtifactDir string
+
+	// Counters, when non-nil, receives additive processed-record progress
+	// from every simulated run — the backing state of cmd/experiments'
+	// -debug-addr endpoint. Safe across the concurrent sweep: the counter
+	// set is atomic and runs only add.
+	Counters *events.RunCounters
 }
 
 // DefaultOptions returns the default experiment scale: large enough for
@@ -99,6 +106,7 @@ func RunOne(p workloads.Profile, pf string, opts Options) (metrics.Report, error
 	cfg.NewPrefetcher = factory
 	cfg.SampleEvery = opts.SampleEvery
 	cfg.ParallelChannels = !opts.Serial
+	cfg.Counters = opts.Counters
 	return runProfile(sim.New(cfg), p, opts)
 }
 

@@ -36,6 +36,12 @@ type Report struct {
 	// an origin ("slp"/"tlp" for Planaria). Empty for other prefetchers.
 	UsefulByOrigin map[string]uint64 `json:"useful_by_origin,omitempty"`
 
+	// LateByOrigin attributes the LatePrefetchHits above to the issuing
+	// sub-prefetcher, so a composite's late hits — previously folded into
+	// UsefulByOrigin invisibly — can be separated per origin. Empty for
+	// prefetchers that report no origin.
+	LateByOrigin map[string]uint64 `json:"late_by_origin,omitempty"`
+
 	SCHitLatency uint64  `json:"sc_hit_latency"` // cycles charged for an SC hit
 	AMAT         float64 `json:"amat_cycles"`    // average memory access time for demand reads, cycles
 	Cycles       uint64  `json:"cycles"`         // wall-clock duration of the run

@@ -41,6 +41,9 @@ type Snapshot struct {
 	// UsefulByOrigin is the cumulative per-origin useful-prefetch
 	// attribution ("slp"/"tlp" for Planaria); nil for other prefetchers.
 	UsefulByOrigin map[string]uint64
+	// LateByOrigin is the cumulative per-origin late-prefetch-hit
+	// attribution (a subset of UsefulByOrigin's late-hit credits).
+	LateByOrigin map[string]uint64
 }
 
 // Sample is one window of a run: the delta between two consecutive
@@ -67,6 +70,7 @@ type Sample struct {
 	ReadLatency uint64 `json:"read_latency_cycles"`
 
 	UsefulByOrigin map[string]uint64 `json:"useful_by_origin,omitempty"`
+	LateByOrigin   map[string]uint64 `json:"late_by_origin,omitempty"`
 
 	HitRate  float64 `json:"hit_rate"`
 	Accuracy float64 `json:"accuracy"`
@@ -112,6 +116,12 @@ func (ts *TimeSeries) Totals() Sample {
 				t.UsefulByOrigin = make(map[string]uint64)
 			}
 			t.UsefulByOrigin[o] += n
+		}
+		for o, n := range s.LateByOrigin {
+			if t.LateByOrigin == nil {
+				t.LateByOrigin = make(map[string]uint64)
+			}
+			t.LateByOrigin[o] += n
 		}
 	}
 	t.fillRatios()
@@ -216,6 +226,14 @@ func delta(base, cur Snapshot) Sample {
 				d.UsefulByOrigin = make(map[string]uint64)
 			}
 			d.UsefulByOrigin[o] = dn
+		}
+	}
+	for o, n := range cur.LateByOrigin {
+		if dn := n - base.LateByOrigin[o]; dn > 0 {
+			if d.LateByOrigin == nil {
+				d.LateByOrigin = make(map[string]uint64)
+			}
+			d.LateByOrigin[o] = dn
 		}
 	}
 	d.fillRatios()

@@ -1,0 +1,158 @@
+package obs
+
+// This file implements the live introspection endpoint behind the CLIs'
+// -debug-addr flag: a small HTTP server exposing run progress, the live
+// attribution snapshot, expvar-style counters and the net/http/pprof
+// profiling handlers while a (possibly hours-long) streamed run is in
+// flight. Everything served here reads atomics or takes point-in-time
+// snapshots, so the simulation hot path is never blocked by a request.
+//
+// The server deliberately avoids the expvar and pprof packages' global
+// DefaultServeMux side effects: counters live in a private expvar.Map and
+// the pprof handlers are registered explicitly on a private mux, so tests
+// (and processes embedding several servers) never hit duplicate-registration
+// panics.
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+
+	"repro/internal/events"
+)
+
+// DebugConfig wires a DebugServer to a run's live state. Either source may
+// be nil: the corresponding endpoints then report "not enabled".
+type DebugConfig struct {
+	// Counters is the run's live progress state (records, req/s, ETA).
+	Counters *events.RunCounters
+	// Recorder is the run's event recorder; its attribution snapshot is
+	// safe to take mid-run.
+	Recorder *events.Recorder
+
+	// Labels echoed on the index page and in /progress.
+	Tool       string
+	Workload   string
+	Prefetcher string
+}
+
+// DebugServer is a live introspection HTTP server. Start with
+// StartDebugServer, stop with Close; both CLIs close it on run end,
+// cancellation and failure alike.
+type DebugServer struct {
+	cfg DebugConfig
+	ln  net.Listener
+	srv *http.Server
+}
+
+// StartDebugServer listens on addr (e.g. "localhost:6060"; an empty port
+// picks a free one) and serves the introspection endpoints in a background
+// goroutine until Close.
+func StartDebugServer(addr string, cfg DebugConfig) (*DebugServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: debug server listen %s: %w", addr, err)
+	}
+	d := &DebugServer{cfg: cfg, ln: ln}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", d.handleIndex)
+	mux.HandleFunc("/progress", d.handleProgress)
+	mux.HandleFunc("/attrib", d.handleAttrib)
+	mux.Handle("/debug/vars", d.varsHandler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	d.srv = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go d.srv.Serve(ln) //nolint:errcheck // Serve always returns on Close
+	return d, nil
+}
+
+// Addr returns the listen address actually bound (useful with port 0).
+func (d *DebugServer) Addr() string {
+	return d.ln.Addr().String()
+}
+
+// Close shuts the server down immediately, closing the listener and any
+// open connections. Safe to call more than once.
+func (d *DebugServer) Close() error {
+	return d.srv.Close()
+}
+
+// handleIndex serves a minimal plain-text directory of the endpoints.
+func (d *DebugServer) handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintf(w, "%s %s/%s — live run introspection\n\n", d.cfg.Tool, d.cfg.Workload, d.cfg.Prefetcher)
+	fmt.Fprintln(w, "/progress      run progress (records, req/s, ETA) as JSON")
+	fmt.Fprintln(w, "/attrib        live prefetch-lifecycle attribution snapshot as JSON")
+	fmt.Fprintln(w, "/debug/vars    expvar counters as JSON")
+	fmt.Fprintln(w, "/debug/pprof/  net/http/pprof profiling handlers")
+}
+
+// handleProgress serves the live progress snapshot.
+func (d *DebugServer) handleProgress(w http.ResponseWriter, _ *http.Request) {
+	if d.cfg.Counters == nil {
+		http.Error(w, "progress counters not enabled for this run", http.StatusNotFound)
+		return
+	}
+	writeJSON(w, struct {
+		Tool       string `json:"tool,omitempty"`
+		Workload   string `json:"workload,omitempty"`
+		Prefetcher string `json:"prefetcher,omitempty"`
+		events.Progress
+	}{d.cfg.Tool, d.cfg.Workload, d.cfg.Prefetcher, d.cfg.Counters.Progress()})
+}
+
+// handleAttrib serves a point-in-time attribution snapshot.
+func (d *DebugServer) handleAttrib(w http.ResponseWriter, _ *http.Request) {
+	if d.cfg.Recorder == nil {
+		http.Error(w, "event tracing not enabled for this run", http.StatusNotFound)
+		return
+	}
+	writeJSON(w, d.cfg.Recorder.Attrib())
+}
+
+// varsHandler builds the /debug/vars handler over a private expvar.Map (no
+// global expvar registration, so repeated server starts in one process —
+// tests, the experiments sweep — cannot panic on duplicate names).
+func (d *DebugServer) varsHandler() http.Handler {
+	m := new(expvar.Map).Init()
+	if c := d.cfg.Counters; c != nil {
+		m.Set("records", expvar.Func(func() any { return c.Records() }))
+		m.Set("req_per_s", expvar.Func(func() any { return c.Progress().ReqPerSec }))
+	}
+	if r := d.cfg.Recorder; r != nil {
+		m.Set("dropped_events", expvar.Func(func() any { return r.Dropped() }))
+		m.Set("issued_by_origin", expvar.Func(func() any { return r.Attrib().IssuedByOrigin() }))
+		m.Set("useful_by_origin", expvar.Func(func() any { return r.Attrib().UsefulByOrigin() }))
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		fmt.Fprintf(w, "{")
+		first := true
+		m.Do(func(kv expvar.KeyValue) {
+			if !first {
+				fmt.Fprintf(w, ",")
+			}
+			first = false
+			fmt.Fprintf(w, "\n%q: %s", kv.Key, kv.Value)
+		})
+		fmt.Fprintf(w, "\n}\n")
+	})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // best-effort response write
+}

@@ -12,12 +12,18 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/events"
 	"repro/internal/metrics"
 )
 
 // SchemaVersion identifies the artifact schema; bump it on any breaking
 // change to Manifest, Artifact or the embedded metrics types.
-const SchemaVersion = 1
+//
+// History: v1 = manifest + report/summary/cells; v2 adds the optional
+// event-level attribution table (Artifact.Attribution) and the per-origin
+// late-hit breakdown inside reports. Readers accept any version in
+// [1, SchemaVersion] — the additions are strictly optional fields.
+const SchemaVersion = 2
 
 // Manifest records the provenance of one run: everything needed to
 // reproduce the numbers in the artifact it accompanies.
@@ -95,12 +101,18 @@ type Artifact struct {
 	Report   *metrics.Report    `json:"report,omitempty"`
 	Summary  map[string]float64 `json:"summary,omitempty"`
 	Cells    []Cell             `json:"cells,omitempty"`
+
+	// Attribution is the event-level lifecycle attribution table of the
+	// run (per sub-prefetcher × page bucket, plus the arbitration
+	// suppression histogram), present when the run traced events
+	// (schema v2; see docs/TRACING.md).
+	Attribution *events.AttribSnapshot `json:"attribution,omitempty"`
 }
 
 // Validate checks the structural invariants every artifact must satisfy.
 func (a Artifact) Validate() error {
-	if a.Manifest.SchemaVersion != SchemaVersion {
-		return fmt.Errorf("obs: schema version %d, want %d",
+	if a.Manifest.SchemaVersion < 1 || a.Manifest.SchemaVersion > SchemaVersion {
+		return fmt.Errorf("obs: schema version %d, want 1..%d",
 			a.Manifest.SchemaVersion, SchemaVersion)
 	}
 	if a.Manifest.Tool == "" {

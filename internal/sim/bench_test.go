@@ -3,6 +3,7 @@ package sim
 import (
 	"testing"
 
+	"repro/internal/events"
 	"repro/internal/workloads"
 )
 
@@ -48,6 +49,36 @@ func BenchmarkEngineStepSampled(b *testing.B) { benchEngine(b, 10_000, false) }
 // BenchmarkEngineStepParallelSampled adds the barrier cost: the sharded
 // engine synchronises all channels at every window boundary.
 func BenchmarkEngineStepParallelSampled(b *testing.B) { benchEngine(b, 10_000, true) }
+
+// BenchmarkEngineStepTraced is the event-tracing overhead guard: the same
+// serial run as BenchmarkEngineStep with full decision-level tracing on
+// (per-channel rings at the CLI default size plus attribution counters).
+// BENCH_baseline.json pins it with "relative_to": "EngineStep", so
+// cmd/benchguard fails CI when the traced run falls more than 10% below the
+// untraced one — the overhead budget docs/TRACING.md promises. The untraced
+// benchmarks above double as the tracing-off transparency guard: their
+// pinned allocs/op predate the event subsystem, so any allocation added to
+// the disabled path trips the existing absolute gate.
+func BenchmarkEngineStepTraced(b *testing.B) {
+	p := workloads.Catalog()[0]
+	tr := p.Generate(100_000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg := DefaultConfig()
+		factory, err := NamedPrefetcher("planaria")
+		if err != nil {
+			b.Fatal(err)
+		}
+		cfg.NewPrefetcher = factory
+		cfg.Events = &events.Config{RingSize: events.DefaultRingSize}
+		eng := New(cfg)
+		if _, err := eng.Run(tr, p.Abbr); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(tr)*b.N)/b.Elapsed().Seconds(), "req/s")
+}
 
 // benchEngineStream is the streaming pipeline end to end: records flow from
 // the workload generator through RunStream without ever materializing the

@@ -7,6 +7,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/dram"
+	"repro/internal/events"
 	"repro/internal/metrics"
 	"repro/internal/power"
 	"repro/internal/prefetch"
@@ -63,6 +64,21 @@ type Config struct {
 	// check per step. See metrics.Sampler and docs/OBSERVABILITY.md.
 	SampleEvery       uint64
 	SampleEveryCycles uint64
+
+	// Events enables decision-level event tracing: the engine builds one
+	// events.ChannelSink per channel, installs it on prefetchers that
+	// implement SetEventSink(events.Sink), and emits the prefetch
+	// lifecycle (demand, issue, fill, used, late-hit, evicted-unused)
+	// itself. Nil disables tracing entirely — the hot path then pays one
+	// nil check per emission site and zero allocations. Event emission
+	// never mutates simulation state, so reports are bit-identical with
+	// tracing on or off. See docs/TRACING.md.
+	Events *events.Config
+
+	// Counters, when non-nil, receives live processed-record counts at
+	// chunk granularity from the streaming run paths (RunStream and the
+	// parallel workers) — the backing state of -progress and -debug-addr.
+	Counters *events.RunCounters
 }
 
 // DefaultConfig returns the paper's system: 4 × 1 MB 16-way SC slices,
@@ -155,8 +171,15 @@ type channelState struct {
 	originIDs    map[string]uint8
 	originNames  []string // id → name; index 0 is the empty origin
 	usefulOrigin []uint64 // useful-prefetch counts by origin id
+	lateOrigin   []uint64 // late-prefetch-hit counts by origin id
 	lastOrigin   string   // memoised last interned name (origins repeat)
 	lastOriginID uint8
+
+	// ev is this channel's event sink; nil when tracing is disabled.
+	// originEv maps interned origin ids to the event-level Origin enum so
+	// emission never re-parses names.
+	ev       *events.ChannelSink
+	originEv []events.Origin
 
 	metaEvents uint64 // prefetcher table touches for the power model
 	scEvents   uint64 // SC lookups + fills
@@ -177,6 +200,13 @@ type originTracker interface {
 	Origin() string
 }
 
+// eventSinkSetter is implemented by prefetchers that emit decision events
+// (Planaria and its sub-prefetchers). Discovered by type assertion, like
+// originTracker, so prefetch.Prefetcher and the baselines stay untouched.
+type eventSinkSetter interface {
+	SetEventSink(events.Sink)
+}
+
 // Engine is one simulation instance. Not safe for concurrent use by
 // callers; with Config.ParallelChannels set, Run and RunWarm internally
 // drive the four channel slices from one goroutine each.
@@ -186,9 +216,11 @@ type Engine struct {
 	pfName   string
 
 	// Observability: requests counts records since the last statistics
-	// reset; sampler is nil unless a sampling cadence was configured.
+	// reset; sampler is nil unless a sampling cadence was configured;
+	// recorder is nil unless event tracing was configured.
 	requests uint64
 	sampler  *metrics.Sampler
+	recorder *events.Recorder
 }
 
 // New builds an engine; it panics on an invalid configuration
@@ -213,6 +245,9 @@ func New(cfg Config) *Engine {
 		cfg.DRAM = dram.DefaultConfig()
 	}
 	e := &Engine{cfg: cfg}
+	if cfg.Events != nil {
+		e.recorder = events.NewRecorder(addr.Channels, cfg.Events.RingSize)
+	}
 	for ch := 0; ch < addr.Channels; ch++ {
 		ccfg := cfg.Cache
 		ccfg.Seed += int64(ch)
@@ -226,8 +261,16 @@ func New(cfg Config) *Engine {
 			originIDs:    make(map[string]uint8),
 			originNames:  []string{""},
 			usefulOrigin: []uint64{0},
+			lateOrigin:   []uint64{0},
+			originEv:     []events.Origin{events.OriginNone},
 		}
 		cs.tracker, _ = pf.(originTracker)
+		if e.recorder != nil {
+			cs.ev = e.recorder.Channel(ch)
+			if es, ok := pf.(eventSinkSetter); ok {
+				es.SetEventSink(cs.ev)
+			}
+		}
 		e.channels[ch] = cs
 		if ch == 0 {
 			e.pfName = pf.Name()
@@ -244,6 +287,15 @@ func (e *Engine) PrefetcherName() string { return e.pfName }
 
 // Channel exposes a channel's prefetcher (for breakdown analyses).
 func (e *Engine) Channel(ch int) prefetch.Prefetcher { return e.channels[ch].pf }
+
+// Events returns the event recorder, nil unless Config.Events was set.
+// Consumers read rings only after a run has returned; the attribution
+// snapshot is safe to take live.
+func (e *Engine) Events() *events.Recorder { return e.recorder }
+
+// Counters returns the live progress counters, nil unless Config.Counters
+// was set.
+func (e *Engine) Counters() *events.RunCounters { return e.cfg.Counters }
 
 // DRAM exposes a channel's memory controller (debugging and tooling).
 func (e *Engine) DRAM(ch int) *dram.Controller { return e.channels[ch].dram }
@@ -267,7 +319,16 @@ func (e *Engine) ResetStats() {
 		for i := range cs.usefulOrigin {
 			cs.usefulOrigin[i] = 0
 		}
+		for i := range cs.lateOrigin {
+			cs.lateOrigin[i] = 0
+		}
 		cs.statsFrom = cs.lastCycle
+	}
+	if e.recorder != nil {
+		// Event-level attribution must cover the same measured region as
+		// the aggregate report, or the two stop reconciling. Rings are
+		// left intact — warmup events are still useful context in a trace.
+		e.recorder.ResetAttrib()
 	}
 	e.requests = 0
 	if e.sampler != nil {
@@ -299,6 +360,8 @@ func (cs *channelState) internOrigin(name string) uint8 {
 		id = uint8(len(cs.originNames))
 		cs.originNames = append(cs.originNames, name)
 		cs.usefulOrigin = append(cs.usefulOrigin, 0)
+		cs.lateOrigin = append(cs.lateOrigin, 0)
+		cs.originEv = append(cs.originEv, events.OriginFromName(name))
 		cs.originIDs[name] = id
 	}
 	cs.lastOrigin, cs.lastOriginID = name, id
@@ -316,13 +379,47 @@ func (cs *channelState) commitPending(now uint64) error {
 		if err := cs.writeback(ev, now); err != nil {
 			return err
 		}
+		cs.noteEvict(ev, p.ready)
 		if p.origin != 0 && p.usedLate {
 			cs.usefulOrigin[p.origin]++
+		}
+		if cs.ev != nil {
+			// FlagLate here is the fill-time half of the late-hit credit:
+			// attribution counts "late" when the fill lands, matching
+			// when usefulOrigin is credited above.
+			var fl events.Flags
+			if p.usedLate {
+				fl = events.FlagLate
+			}
+			cs.ev.Emit(events.Event{
+				Kind: events.KindFill, Cycle: p.ready, Block: p.block,
+				Origin: cs.evOrigin(p.origin), Flags: fl,
+			})
 		}
 		cs.queue.Complete(p.block)
 		cs.scEvents++
 	}
 	return nil
+}
+
+// evOrigin maps an interned origin id to the event-level Origin enum.
+func (cs *channelState) evOrigin(id uint8) events.Origin {
+	if int(id) < len(cs.originEv) {
+		return cs.originEv[id]
+	}
+	return events.OriginNone
+}
+
+// noteEvict emits the evicted-unused terminal event when a fill's victim was
+// a never-demanded prefetch.
+func (cs *channelState) noteEvict(ev cache.EvictInfo, cycle uint64) {
+	if cs.ev == nil || !ev.Valid || !ev.Prefetched {
+		return
+	}
+	cs.ev.Emit(events.Event{
+		Kind: events.KindEvictUnused, Cycle: cycle, Block: ev.Block,
+		Origin: cs.evOrigin(ev.Origin),
+	})
 }
 
 // step processes one trace record belonging to this channel. It touches no
@@ -338,14 +435,35 @@ func (cs *channelState) step(rec trace.Record) error {
 	cs.scEvents++
 
 	hit, firstUse, originID := cs.cache.AccessOrigin(blk, rec.Write)
-	if firstUse && originID != 0 {
-		cs.usefulOrigin[originID]++
+	if firstUse {
+		if originID != 0 {
+			cs.usefulOrigin[originID]++
+		}
+		if cs.ev != nil {
+			cs.ev.Emit(events.Event{
+				Kind: events.KindUsed, Cycle: rec.Cycle, Block: blk,
+				Origin: cs.evOrigin(originID),
+			})
+		}
 	}
 	// late stays valid only until the next pending push; every use below
 	// happens before the issuing phase appends.
 	var late *pendingFill
 	if !hit {
 		late = cs.pending.find(blk)
+	}
+	if cs.ev != nil {
+		var fl events.Flags
+		if rec.Write {
+			fl |= events.FlagWrite
+		}
+		if hit {
+			fl |= events.FlagHit
+		}
+		if late != nil {
+			fl |= events.FlagLate
+		}
+		cs.ev.Emit(events.Event{Kind: events.KindDemand, Cycle: rec.Cycle, Block: blk, Flags: fl})
 	}
 	if rec.Write {
 		cs.demandWrites++
@@ -357,7 +475,14 @@ func (cs *channelState) step(rec trace.Record) error {
 		case late != nil:
 			// Late prefetch: wait out the remaining fill time.
 			cs.lateHits++
+			cs.lateOrigin[late.origin]++
 			cs.lateLatency += cs.cfg.SCHitLatency + (late.ready - rec.Cycle)
+			if cs.ev != nil {
+				cs.ev.Emit(events.Event{
+					Kind: events.KindLateHit, Cycle: rec.Cycle, Block: blk,
+					Aux: late.ready, Origin: cs.evOrigin(late.origin),
+				})
+			}
 		}
 	}
 
@@ -380,6 +505,7 @@ func (cs *channelState) step(rec trace.Record) error {
 		if err := cs.writeback(ev, rec.Cycle); err != nil {
 			return err
 		}
+		cs.noteEvict(ev, rec.Cycle)
 		cs.scEvents++
 	}
 	if late != nil {
@@ -391,6 +517,7 @@ func (cs *channelState) step(rec trace.Record) error {
 			if err := cs.writeback(ev, rec.Cycle); err != nil {
 				return err
 			}
+			cs.noteEvict(ev, rec.Cycle)
 			cs.scEvents++
 		}
 	}
@@ -444,6 +571,13 @@ func (cs *channelState) step(rec trace.Record) error {
 			ready:  rec.Cycle + cs.cfg.PrefetchLatency,
 			origin: originID2,
 		})
+		if cs.ev != nil {
+			cs.ev.Emit(events.Event{
+				Kind: events.KindIssue, Cycle: rec.Cycle, Block: c,
+				Aux:    rec.Cycle + cs.cfg.PrefetchLatency,
+				Origin: cs.evOrigin(originID2),
+			})
+		}
 	}
 	return nil
 }
@@ -464,6 +598,20 @@ func (cs *channelState) writeback(ev cache.EvictInfo, cycle uint64) error {
 // by-name map, allocating the map only when a count exists.
 func (cs *channelState) addUsefulByOrigin(dst map[string]uint64) map[string]uint64 {
 	for id, n := range cs.usefulOrigin {
+		if id == 0 || n == 0 {
+			continue
+		}
+		if dst == nil {
+			dst = make(map[string]uint64)
+		}
+		dst[cs.originNames[id]] += n
+	}
+	return dst
+}
+
+// addLateByOrigin folds this channel's per-id late-hit counts the same way.
+func (cs *channelState) addLateByOrigin(dst map[string]uint64) map[string]uint64 {
+	for id, n := range cs.lateOrigin {
 		if id == 0 || n == 0 {
 			continue
 		}
@@ -513,6 +661,7 @@ func (e *Engine) snapshot(cycle uint64) metrics.Snapshot {
 			dstats.DemandReads*e.cfg.SCHitLatency +
 			dstats.TotalDemandReadLat
 		s.UsefulByOrigin = cs.addUsefulByOrigin(s.UsefulByOrigin)
+		s.LateByOrigin = cs.addLateByOrigin(s.LateByOrigin)
 	}
 	return s
 }
@@ -568,6 +717,7 @@ func (e *Engine) Finish(workload string) metrics.Report {
 			dstats.TotalDemandReadLat
 		rep.LatePrefetchHits += cs.lateHits
 		rep.UsefulByOrigin = cs.addUsefulByOrigin(rep.UsefulByOrigin)
+		rep.LateByOrigin = cs.addLateByOrigin(rep.LateByOrigin)
 		end := cs.lastCycle
 		if dstats.LastDone > end {
 			end = dstats.LastDone

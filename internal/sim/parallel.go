@@ -140,6 +140,10 @@ func (e *Engine) runParallelStream(ctx context.Context, s trace.Stream, warmAt i
 						errs[ch] = chanErr{err: err, global: at}
 						failed = true
 						trip.Do(func() { close(abort) })
+					} else if c := e.cfg.Counters; c != nil {
+						// Chunk-granularity additive progress, like the
+						// serial consumer.
+						c.Add(int64(len(p.buf.recs)))
 					}
 				}
 				p.buf.recs = p.buf.recs[:0]

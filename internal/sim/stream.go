@@ -110,11 +110,14 @@ func clampWarmup(w float64) float64 {
 // the records delivered for stream faults, the stop position for
 // cancellation. It is meaningless when err is nil.
 func (e *Engine) consumeStream(ctx context.Context, s trace.Stream, warmAt int64) (int64, error) {
+	if c := e.cfg.Counters; c != nil {
+		c.Start()
+	}
 	if e.parallelOK() {
 		return e.runParallelStream(ctx, s, warmAt)
 	}
 	buf := make([]trace.Record, trace.ChunkSize)
-	var global int64
+	var global, counted int64
 	for {
 		select {
 		case <-ctx.Done():
@@ -133,6 +136,14 @@ func (e *Engine) consumeStream(ctx context.Context, s trace.Stream, warmAt int64
 				return global, err
 			}
 			global++
+		}
+		// Progress is published at chunk granularity — one atomic add per
+		// ~ChunkSize records keeps -progress and -debug-addr nearly free —
+		// and additively, so sequential runs sharing one counter set (the
+		// experiments CLI) accumulate instead of rewinding.
+		if c := e.cfg.Counters; c != nil {
+			c.Add(global - counted)
+			counted = global
 		}
 	}
 	if warmAt >= global {
