@@ -44,6 +44,13 @@ type baselineEntry struct {
 	// holds across hosts of different absolute speed, where a fixed req/s
 	// pin would not.
 	RelativeTo string `json:"relative_to,omitempty"`
+	// Tolerance, when > 0, overrides the global -max-slowdown fraction for
+	// this entry's req/s gate (absolute or relative). It expresses pins
+	// whose expected gap differs from the default 10% — e.g. the
+	// four-way tournament trains every component on every access, so it
+	// legitimately runs well below the plain composite and is pinned at a
+	// wider ratio against EngineStep instead of being left ungated.
+	Tolerance float64 `json:"tolerance,omitempty"`
 }
 
 type baseline struct {
@@ -114,6 +121,10 @@ func compare(base baseline, results map[string]result, maxSlowdown, maxAllocGrow
 			failures = append(failures, fmt.Sprintf("%s: missing from bench output", name))
 			continue
 		}
+		slowdown := maxSlowdown
+		if want.Tolerance > 0 {
+			slowdown = want.Tolerance
+		}
 		status := "ok"
 		switch {
 		case math.IsNaN(got.ReqPerS) || math.IsNaN(want.ReqPerS):
@@ -134,18 +145,18 @@ func compare(base baseline, results map[string]result, maxSlowdown, maxAllocGrow
 				failures = append(failures, fmt.Sprintf("%s: relative baseline %s has unusable req/s %v",
 					name, want.RelativeTo, ref.ReqPerS))
 				status = "FAIL"
-			case got.ReqPerS < ref.ReqPerS*(1-maxSlowdown):
+			case got.ReqPerS < ref.ReqPerS*(1-slowdown):
 				failures = append(failures, fmt.Sprintf("%s: req/s %.0f is %.1f%% below %s's %.0f (overhead limit %.0f%%)",
-					name, got.ReqPerS, 100*(1-got.ReqPerS/ref.ReqPerS), want.RelativeTo, ref.ReqPerS, 100*maxSlowdown))
+					name, got.ReqPerS, 100*(1-got.ReqPerS/ref.ReqPerS), want.RelativeTo, ref.ReqPerS, 100*slowdown))
 				status = "FAIL"
 			default:
 				status = fmt.Sprintf("ok (%.1f%% vs %s)", 100*(1-got.ReqPerS/ref.ReqPerS), want.RelativeTo)
 			}
 		case want.ReqPerS == 0:
 			status = "no req/s pin"
-		case got.ReqPerS < want.ReqPerS*(1-maxSlowdown):
+		case got.ReqPerS < want.ReqPerS*(1-slowdown):
 			failures = append(failures, fmt.Sprintf("%s: req/s %.0f is %.1f%% below baseline %.0f (limit %.0f%%)",
-				name, got.ReqPerS, 100*(1-got.ReqPerS/want.ReqPerS), want.ReqPerS, 100*maxSlowdown))
+				name, got.ReqPerS, 100*(1-got.ReqPerS/want.ReqPerS), want.ReqPerS, 100*slowdown))
 			status = "FAIL"
 		}
 		switch {

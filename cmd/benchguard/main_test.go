@@ -164,6 +164,42 @@ func TestCompareRelativeTo(t *testing.T) {
 	}
 }
 
+// TestCompareTolerance: a per-entry tolerance widens (or tightens) the
+// req/s gate for that entry only, for both relative and absolute pins. The
+// tournament is the motivating case: all components train on every access,
+// so it legitimately sits far below the plain composite, and the default
+// 10% overhead gate would make a relative pin impossible.
+func TestCompareTolerance(t *testing.T) {
+	base := baseline{Benchmarks: map[string]baselineEntry{
+		"EngineStep": {ReqPerS: 2_000_000, AllocsPerOp: 100},
+		"EngineStepTournament": {ReqPerS: 1_200_000, AllocsPerOp: 150,
+			RelativeTo: "EngineStep", Tolerance: 0.45},
+	}}
+	// Tournament at 60% of EngineStep: inside its widened 45% gate, far
+	// outside the default 10% one.
+	results := map[string]result{
+		"EngineStep":           {ReqPerS: 2_000_000, AllocsPerOp: 100, samples: 3},
+		"EngineStepTournament": {ReqPerS: 1_200_000, AllocsPerOp: 150, samples: 3},
+	}
+	if _, failures := compare(base, results, 0.10, 0.15); len(failures) != 0 {
+		t.Fatalf("within-tolerance run failed: %v", failures)
+	}
+	// Below the widened gate it still fires.
+	results["EngineStepTournament"] = result{ReqPerS: 1_000_000, AllocsPerOp: 150, samples: 3}
+	_, failures := compare(base, results, 0.10, 0.15)
+	if len(failures) != 1 || !strings.Contains(failures[0], "overhead limit 45%") {
+		t.Fatalf("tolerance gate did not fire: %v", failures)
+	}
+	// The per-entry tolerance never leaks onto other entries: the sibling
+	// absolute pin keeps the global fraction.
+	results["EngineStepTournament"] = result{ReqPerS: 1_200_000, AllocsPerOp: 150, samples: 3}
+	results["EngineStep"] = result{ReqPerS: 1_700_000, AllocsPerOp: 100, samples: 3}
+	_, failures = compare(base, results, 0.10, 0.15)
+	if len(failures) != 1 || !strings.Contains(failures[0], "EngineStep: req/s") {
+		t.Fatalf("global gate lost: %v", failures)
+	}
+}
+
 func TestMedian(t *testing.T) {
 	if m := median([]float64{3, 1, 2}); m != 2 {
 		t.Errorf("odd median = %v", m)

@@ -1,0 +1,301 @@
+// doccheck is the documentation guardrail behind the CI docs job: it
+// verifies that relative markdown links (including #anchors) resolve, and
+// that every exported identifier in the given Go packages carries a doc
+// comment. Standard library only.
+//
+// Usage:
+//
+//	go run ./cmd/doccheck -md README.md -md docs -pkg ./internal/prefetch
+//
+// Each -md argument is a markdown file or a directory of *.md files; each
+// -pkg argument is a Go package directory (non-recursive, test files are
+// ignored). Problems are printed one per line and the exit status is 1 if
+// any were found.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+type multiFlag []string
+
+func (m *multiFlag) String() string     { return strings.Join(*m, ",") }
+func (m *multiFlag) Set(s string) error { *m = append(*m, s); return nil }
+
+func main() {
+	var mds, pkgs multiFlag
+	flag.Var(&mds, "md", "markdown file or directory to link-check (repeatable)")
+	flag.Var(&pkgs, "pkg", "Go package directory to doc-comment-check (repeatable)")
+	flag.Parse()
+	if len(mds) == 0 && len(pkgs) == 0 {
+		fmt.Fprintln(os.Stderr, "doccheck: nothing to do (pass -md and/or -pkg)")
+		os.Exit(2)
+	}
+
+	var problems []string
+	files, err := collectMarkdown(mds)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "doccheck:", err)
+		os.Exit(2)
+	}
+	problems = append(problems, checkMarkdown(files)...)
+	for _, dir := range pkgs {
+		ps, err := checkPkgDocs(dir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "doccheck:", err)
+			os.Exit(2)
+		}
+		problems = append(problems, ps...)
+	}
+
+	for _, p := range problems {
+		fmt.Println(p)
+	}
+	if len(problems) > 0 {
+		fmt.Fprintf(os.Stderr, "doccheck: %d problem(s)\n", len(problems))
+		os.Exit(1)
+	}
+}
+
+// collectMarkdown expands the -md arguments into a sorted list of .md files.
+func collectMarkdown(args []string) ([]string, error) {
+	seen := map[string]bool{}
+	for _, a := range args {
+		st, err := os.Stat(a)
+		if err != nil {
+			return nil, err
+		}
+		if !st.IsDir() {
+			seen[a] = true
+			continue
+		}
+		ents, err := os.ReadDir(a)
+		if err != nil {
+			return nil, err
+		}
+		for _, e := range ents {
+			if !e.IsDir() && strings.HasSuffix(e.Name(), ".md") {
+				seen[filepath.Join(a, e.Name())] = true
+			}
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for f := range seen {
+		out = append(out, f)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// linkRe matches inline markdown links [text](target) and
+// [text](target "title"). Images (![alt](…)) match too via the [text] part.
+var linkRe = regexp.MustCompile(`\[[^\]]*\]\(([^)\s]+)(?:\s+"[^"]*")?\)`)
+
+// checkMarkdown verifies every relative link in the given files: the target
+// file must exist, and a #fragment must name a heading anchor in the target
+// (GitHub slug rules). External schemes and bare in-repo code spans are
+// ignored.
+func checkMarkdown(files []string) []string {
+	var problems []string
+	anchors := map[string]map[string]bool{} // md path -> available anchors
+	anchorsOf := func(path string) map[string]bool {
+		if a, ok := anchors[path]; ok {
+			return a
+		}
+		a := headingAnchors(path)
+		anchors[path] = a
+		return a
+	}
+	for _, f := range files {
+		data, err := os.ReadFile(f)
+		if err != nil {
+			problems = append(problems, fmt.Sprintf("%s: %v", f, err))
+			continue
+		}
+		for n, line := range strings.Split(stripFencedBlocks(string(data)), "\n") {
+			for _, m := range linkRe.FindAllStringSubmatch(line, -1) {
+				target := m[1]
+				if strings.Contains(target, "://") || strings.HasPrefix(target, "mailto:") {
+					continue
+				}
+				path, frag, _ := strings.Cut(target, "#")
+				dest := f
+				if path != "" {
+					dest = filepath.Join(filepath.Dir(f), path)
+					if _, err := os.Stat(dest); err != nil {
+						problems = append(problems,
+							fmt.Sprintf("%s:%d: broken link %q: %s does not exist", f, n+1, target, dest))
+						continue
+					}
+				}
+				if frag == "" {
+					continue
+				}
+				if !strings.HasSuffix(dest, ".md") {
+					continue // cannot anchor-check non-markdown targets
+				}
+				if !anchorsOf(dest)[strings.ToLower(frag)] {
+					problems = append(problems,
+						fmt.Sprintf("%s:%d: broken anchor %q: no heading %q in %s", f, n+1, target, frag, dest))
+				}
+			}
+		}
+	}
+	return problems
+}
+
+// stripFencedBlocks blanks out ``` fenced code blocks (line structure is
+// preserved so reported line numbers stay correct).
+func stripFencedBlocks(s string) string {
+	lines := strings.Split(s, "\n")
+	fenced := false
+	for i, l := range lines {
+		if strings.HasPrefix(strings.TrimSpace(l), "```") {
+			fenced = !fenced
+			lines[i] = ""
+			continue
+		}
+		if fenced {
+			lines[i] = ""
+		}
+	}
+	return strings.Join(lines, "\n")
+}
+
+// headingAnchors returns the set of GitHub-style anchors for a markdown
+// file's headings: lowercase, markdown formatting stripped, non-alphanumerics
+// dropped, spaces to hyphens, duplicates suffixed -1, -2, …
+func headingAnchors(path string) map[string]bool {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil
+	}
+	out := map[string]bool{}
+	counts := map[string]int{}
+	for _, line := range strings.Split(stripFencedBlocks(string(data)), "\n") {
+		trimmed := strings.TrimSpace(line)
+		if !strings.HasPrefix(trimmed, "#") {
+			continue
+		}
+		text := strings.TrimLeft(trimmed, "#")
+		if text == trimmed || (text != "" && text[0] != ' ') {
+			continue // not a heading (e.g. a #fragment in prose)
+		}
+		slug := slugify(strings.TrimSpace(text))
+		if n := counts[slug]; n > 0 {
+			out[fmt.Sprintf("%s-%d", slug, n)] = true
+		} else {
+			out[slug] = true
+		}
+		counts[slug]++
+	}
+	return out
+}
+
+var inlineMd = regexp.MustCompile("`([^`]*)`|\\*\\*([^*]*)\\*\\*|\\*([^*]*)\\*|\\[([^\\]]*)\\]\\([^)]*\\)")
+
+// slugify lowercases a heading and reduces it to a GitHub anchor.
+func slugify(h string) string {
+	h = inlineMd.ReplaceAllString(h, "$1$2$3$4")
+	var b strings.Builder
+	for _, r := range strings.ToLower(h) {
+		switch {
+		case r >= 'a' && r <= 'z' || r >= '0' && r <= '9' || r == '-':
+			b.WriteRune(r)
+		case r == ' ':
+			b.WriteByte('-')
+		}
+	}
+	return b.String()
+}
+
+// checkPkgDocs parses the package in dir (tests excluded) and reports every
+// exported identifier — type, function, method, const, var — that has no doc
+// comment. A doc comment on a const/var/type group covers the whole group.
+func checkPkgDocs(dir string) ([]string, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		return nil, err
+	}
+	var problems []string
+	report := func(pos token.Pos, kind, name string) {
+		p := fset.Position(pos)
+		problems = append(problems,
+			fmt.Sprintf("%s:%d: exported %s %s has no doc comment", p.Filename, p.Line, kind, name))
+	}
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				switch d := decl.(type) {
+				case *ast.FuncDecl:
+					if !d.Name.IsExported() || methodOfUnexported(d) {
+						continue
+					}
+					if d.Doc == nil {
+						kind := "function"
+						if d.Recv != nil {
+							kind = "method"
+						}
+						report(d.Pos(), kind, d.Name.Name)
+					}
+				case *ast.GenDecl:
+					if d.Doc != nil {
+						continue // group doc covers every spec
+					}
+					for _, spec := range d.Specs {
+						switch s := spec.(type) {
+						case *ast.TypeSpec:
+							if s.Name.IsExported() && s.Doc == nil && s.Comment == nil {
+								report(s.Pos(), "type", s.Name.Name)
+							}
+						case *ast.ValueSpec:
+							if s.Doc != nil || s.Comment != nil {
+								continue
+							}
+							for _, n := range s.Names {
+								if n.IsExported() {
+									kind := "var"
+									if d.Tok == token.CONST {
+										kind = "const"
+									}
+									report(n.Pos(), kind, n.Name)
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	sort.Strings(problems)
+	return problems, nil
+}
+
+// methodOfUnexported reports whether f is a method whose receiver base type
+// is unexported (such methods are invisible in godoc and exempt).
+func methodOfUnexported(f *ast.FuncDecl) bool {
+	if f.Recv == nil || len(f.Recv.List) == 0 {
+		return false
+	}
+	t := f.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if idx, ok := t.(*ast.IndexExpr); ok { // generic receiver
+		t = idx.X
+	}
+	id, ok := t.(*ast.Ident)
+	return ok && !id.IsExported()
+}

@@ -22,12 +22,14 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"repro/internal/events"
 	"repro/internal/experiments"
 	"repro/internal/metrics"
 	"repro/internal/obs"
+	"repro/internal/sim"
 )
 
 func main() {
@@ -44,7 +46,22 @@ func main() {
 	validate := flag.String("validate-artifact", "", "read and validate the JSON artifact at this path, then exit (CI smoke check)")
 	validateTrace := flag.String("validate-trace", "", "read and validate the Chrome trace-event JSON at this path, then exit (CI smoke check)")
 	debugAddr := flag.String("debug-addr", "", "serve live sweep introspection (progress, expvar, pprof) on this address, e.g. localhost:6060")
+	extraPF := flag.String("extra-pf", "", "comma-separated extra prefetchers added to the fig7/csv sweep set, e.g. planaria-tournament (see sim.PrefetcherNames)")
 	flag.Parse()
+
+	var extras []string
+	if *extraPF != "" {
+		for _, pf := range strings.Split(*extraPF, ",") {
+			pf = strings.TrimSpace(pf)
+			if pf == "" {
+				continue
+			}
+			if _, err := sim.NamedPrefetcher(pf); err != nil {
+				fail(err)
+			}
+			extras = append(extras, pf)
+		}
+	}
 
 	if *validate != "" {
 		art, err := obs.ReadFile(*validate)
@@ -79,12 +96,13 @@ func main() {
 	}
 
 	opts := experiments.Options{
-		Requests:    *n,
-		Warmup:      *warmup,
-		SampleEvery: *sampleEvery,
-		ArtifactDir: *artifactDir,
-		Serial:      !*parallel,
-		NoStream:    !*stream,
+		Requests:         *n,
+		Warmup:           *warmup,
+		SampleEvery:      *sampleEvery,
+		ArtifactDir:      *artifactDir,
+		Serial:           !*parallel,
+		NoStream:         !*stream,
+		ExtraPrefetchers: extras,
 	}
 	if *debugAddr != "" {
 		counters := &events.RunCounters{}
@@ -179,7 +197,7 @@ func main() {
 	case "abl-pt":
 		_, err = experiments.AblationPTSize(w, opts, nil)
 	case "csv":
-		r, e := experiments.Sweep(experiments.EvalPrefetchers, opts)
+		r, e := experiments.Sweep(opts.EvalSet(), opts)
 		if e != nil {
 			err = e
 			break

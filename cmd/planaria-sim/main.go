@@ -6,6 +6,7 @@
 //
 //	planaria-sim -app CFM -pf planaria -n 400000
 //	planaria-sim -trace trace.bin -pf spp
+//	planaria-sim -app CFM -tournament -attrib
 //
 // Observability (see docs/OBSERVABILITY.md):
 //
@@ -40,6 +41,7 @@ func main() {
 	app := flag.String("app", "CFM", "catalog application abbreviation (see Table 2)")
 	traceFile := flag.String("trace", "", "binary trace file (overrides -app)")
 	pf := flag.String("pf", "planaria", fmt.Sprintf("prefetcher %v", sim.PrefetcherNames()))
+	tournament := flag.Bool("tournament", false, "shorthand for -pf planaria-tournament: the composite plus the stride/markov/accel components under the set-dueling meta-predictor (docs/PREFETCHERS.md)")
 	n := flag.Int("n", 800_000, "requests to generate when using -app")
 	verbose := flag.Bool("v", false, "print detailed DRAM/cache counters")
 	warmup := flag.Float64("warmup", 0, "fraction of the trace run before statistics start (0 disables)")
@@ -103,6 +105,9 @@ func main() {
 		}
 	}
 
+	if *tournament {
+		*pf = "planaria-tournament"
+	}
 	factory, err := sim.NamedPrefetcher(*pf)
 	if err != nil {
 		fatal(err)
@@ -296,7 +301,10 @@ func printAttrib(s *events.AttribSnapshot) {
 	}
 	if len(s.Suppression) > 0 {
 		fmt.Println("  arbitration suppression reasons:")
-		for _, r := range []string{"slp-priority", "no-metadata", "disabled"} {
+		for _, r := range []string{
+			"slp-priority", "no-metadata", "disabled",
+			"leader-region", "meta-trust", "meta-fallback",
+		} {
 			if n, ok := s.Suppression[r]; ok {
 				fmt.Printf("    %-14s %10d\n", r, n)
 			}

@@ -7,6 +7,12 @@
 // to a page with no history, replay the most recently completed page's
 // footprint — a deliberately crude cousin of Planaria's TLP.
 //
+// Because it also implements Peek (a side-effect-free prediction), ditto
+// qualifies as a planaria.Component and can enter the tournament
+// meta-prefetcher next to the built-in set: the set-dueling selector then
+// learns per page region whether ditto or one of the built-ins deserves to
+// issue (docs/PREFETCHERS.md).
+//
 //	go run ./examples/customprefetcher
 package main
 
@@ -50,6 +56,13 @@ func (d *dittoPrefetcher) Train(a planaria.Access, miss bool) {
 }
 
 func (d *dittoPrefetcher) Issue(a planaria.Access, miss bool) []uint64 {
+	return d.Peek(a, miss)
+}
+
+// Peek is the prediction without any learning side effects (ditto's Issue
+// never had any, so they coincide); implementing it makes dittoPrefetcher a
+// planaria.Component, eligible for Options.TournamentCustom below.
+func (d *dittoPrefetcher) Peek(a planaria.Access, miss bool) []uint64 {
 	if !miss || d.lastBits == 0 {
 		return nil
 	}
@@ -103,6 +116,20 @@ func main() {
 			}
 			return s.Run(trace)
 		}},
+		{"tournament+ditto", func() (planaria.Result, error) {
+			// ditto joins the default tournament set (planaria, stride,
+			// markov, accel); the set-dueling selector decides per page
+			// region which of the five issues.
+			s, err := planaria.NewSimulator(planaria.Options{
+				TournamentCustom: func(ch int) []planaria.Component {
+					return []planaria.Component{&dittoPrefetcher{}}
+				},
+			})
+			if err != nil {
+				return planaria.Result{}, err
+			}
+			return s.Run(trace)
+		}},
 	}
 
 	fmt.Printf("workload %s, %d requests\n\n", app, requests)
@@ -116,5 +143,7 @@ func main() {
 			r.label, 100*res.HitRate, res.AMAT, 100*res.Accuracy, res.DRAMTraffic)
 	}
 	fmt.Println("\nthe crude ditto heuristic helps a little; Planaria's coordinated")
-	fmt.Println("SLP+TLP does the same job with far better accuracy.")
+	fmt.Println("SLP+TLP does the same job with far better accuracy. In the")
+	fmt.Println("tournament, ditto only issues where the selector learned to trust")
+	fmt.Println("it, so a weak component cannot drag the composite down.")
 }

@@ -222,6 +222,65 @@ func (p *Planaria) Issue(a prefetch.Access) []addr.BlockNum {
 	return nil
 }
 
+// Peek implements prefetch.Component: the blocks Issue would return for a,
+// computed from the same metadata probes (SLP's pattern table, TLP's best
+// neighbour) without mutating any state, counters or events. The tournament
+// calls it on every trigger for shadow evaluation.
+func (p *Planaria) Peek(a prefetch.Access, dst []addr.BlockNum) []addr.BlockNum {
+	if !a.Miss {
+		return dst
+	}
+	page := a.Page()
+	ch := a.Block.Channel()
+	trigger := a.Block.SegOffset()
+	if p.cfg.Mode == Parallel {
+		// Union of both sub-prefetchers, deduplicated like Issue's dedup.
+		base := len(dst)
+		if !p.cfg.DisableSLP {
+			if bits, ok := p.slp.Pattern(page); ok {
+				for _, o := range bits.Clear(trigger).Offsets() {
+					dst = append(dst, page.Block(addr.OffsetOf(ch, o)))
+				}
+			}
+		}
+		if !p.cfg.DisableTLP {
+			if _, transfer, ok := p.tlp.BestNeighbor(page); ok {
+			transfers:
+				for _, o := range transfer.Offsets() {
+					b := page.Block(addr.OffsetOf(ch, o))
+					for _, seen := range dst[base:] {
+						if seen == b {
+							continue transfers
+						}
+					}
+					dst = append(dst, b)
+				}
+			}
+		}
+		return dst
+	}
+	// Decoupled and Serial: SLP's snapshot first, TLP as the fallback —
+	// the same priority order as Issue.
+	if !p.cfg.DisableSLP {
+		if bits, ok := p.slp.Pattern(page); ok {
+			if offs := bits.Clear(trigger).Offsets(); len(offs) > 0 {
+				for _, o := range offs {
+					dst = append(dst, page.Block(addr.OffsetOf(ch, o)))
+				}
+				return dst
+			}
+		}
+	}
+	if !p.cfg.DisableTLP {
+		if _, transfer, ok := p.tlp.BestNeighbor(page); ok {
+			for _, o := range transfer.Offsets() {
+				dst = append(dst, page.Block(addr.OffsetOf(ch, o)))
+			}
+		}
+	}
+	return dst
+}
+
 // Origin reports which sub-prefetcher answered the most recent Issue call
 // ("slp", "tlp", or "" for none/union). The engine uses it to attribute
 // useful prefetches per sub-prefetcher (the Figure 9 in-system breakdown).
@@ -260,6 +319,7 @@ func dedup(in []addr.BlockNum) []addr.BlockNum {
 // Interface conformance checks.
 var (
 	_ prefetch.Prefetcher = (*Planaria)(nil)
+	_ prefetch.Component  = (*Planaria)(nil)
 	_ prefetch.Prefetcher = (*SLP)(nil)
 	_ prefetch.Prefetcher = (*TLP)(nil)
 )

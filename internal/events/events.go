@@ -93,18 +93,23 @@ func (k Kind) String() string {
 type Origin uint8
 
 // Origins. OriginNone covers untagged prefetches (every prefetch of a
-// non-composite prefetcher such as BOP or SPP); OriginOther covers tagged
-// origins that are neither SLP nor TLP (custom composites).
+// non-composite prefetcher such as BOP or SPP); OriginStride, OriginMarkov
+// and OriginAccel are the tournament's PC-free delta-family components
+// (docs/PREFETCHERS.md); OriginOther covers tagged origins that are none of
+// the above (custom composites and custom tournament components).
 const (
 	OriginNone Origin = iota
 	OriginSLP
 	OriginTLP
+	OriginStride
+	OriginMarkov
+	OriginAccel
 	OriginOther
 
 	numOrigins
 )
 
-var originNames = [numOrigins]string{"untagged", "slp", "tlp", "other"}
+var originNames = [numOrigins]string{"untagged", "slp", "tlp", "stride", "markov", "accel", "other"}
 
 // String returns the origin mnemonic.
 func (o Origin) String() string {
@@ -124,6 +129,12 @@ func OriginFromName(name string) Origin {
 		return OriginSLP
 	case "tlp":
 		return OriginTLP
+	case "stride":
+		return OriginStride
+	case "markov":
+		return OriginMarkov
+	case "accel":
+		return OriginAccel
 	}
 	return OriginOther
 }
@@ -145,11 +156,26 @@ const (
 	// ReasonDisabled: the suppressed sub-prefetcher is disabled by
 	// configuration (the Figure 9 breakdown runs).
 	ReasonDisabled
+	// ReasonLeaderRegion: the tournament issued from the component that
+	// permanently owns this page region's leader set — the set-dueling
+	// exploration path, taken regardless of learned trust.
+	ReasonLeaderRegion
+	// ReasonMetaTrust: the tournament's meta-predictor selected the
+	// issuing component because its per-region (or global) trust counters
+	// beat every other component's.
+	ReasonMetaTrust
+	// ReasonMetaFallback: the meta-predictor's choice had nothing to
+	// issue, so the trigger fell through the fixed priority order (the
+	// composite first — the paper's SLP-priority rule as the fallback).
+	ReasonMetaFallback
 
 	numReasons
 )
 
-var reasonNames = [numReasons]string{"none", "slp-priority", "no-metadata", "disabled"}
+var reasonNames = [numReasons]string{
+	"none", "slp-priority", "no-metadata", "disabled",
+	"leader-region", "meta-trust", "meta-fallback",
+}
 
 // String returns the reason mnemonic.
 func (r Reason) String() string {

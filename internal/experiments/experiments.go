@@ -53,6 +53,34 @@ type Options struct {
 	// -debug-addr endpoint. Safe across the concurrent sweep: the counter
 	// set is atomic and runs only add.
 	Counters *events.RunCounters
+
+	// ExtraPrefetchers adds named prefetchers (sim.PrefetcherNames) to the
+	// Figure 7 / CSV sweep set beyond EvalPrefetchers — the way to put
+	// "planaria-tournament" (or "markov", "accel", …) side by side with
+	// the paper's comparison points. Duplicates of the base set are
+	// ignored. The fixed-column paper tables (Fig8, Fig10, IPC, traffic)
+	// keep their original columns; extras appear in the Fig7 table, the
+	// CSV and the sweep artifacts.
+	ExtraPrefetchers []string
+}
+
+// EvalSet returns EvalPrefetchers plus the options' extra prefetchers,
+// original order preserved and duplicates dropped — the sweep set used by
+// Fig7 and the CSV export.
+func (o Options) EvalSet() []string {
+	out := append([]string(nil), EvalPrefetchers...)
+	have := make(map[string]bool, len(out))
+	for _, pf := range out {
+		have[pf] = true
+	}
+	for _, pf := range o.ExtraPrefetchers {
+		if pf == "" || have[pf] {
+			continue
+		}
+		have[pf] = true
+		out = append(out, pf)
+	}
+	return out
 }
 
 // DefaultOptions returns the default experiment scale: large enough for
@@ -259,14 +287,15 @@ func Fig5(w io.Writer, opts Options) (avgAt4, avgAt64 float64) {
 // back with the error; the table (which assumes a full grid) is only
 // printed for a clean sweep.
 func Fig7(w io.Writer, opts Options) (map[string]map[string]metrics.Report, error) {
-	reps, err := Sweep(EvalPrefetchers, opts)
+	set := opts.EvalSet()
+	reps, err := Sweep(set, opts)
 	if err != nil {
 		return reps, err
 	}
-	header(w, "Figure 7: SC hit rate", EvalPrefetchers)
+	header(w, "Figure 7: SC hit rate", set)
 	for _, a := range appOrder(reps) {
 		fmt.Fprintf(w, "%-6s", a)
-		for _, pf := range EvalPrefetchers {
+		for _, pf := range set {
 			fmt.Fprintf(w, "%11.1f%%", 100*reps[a][pf].HitRate())
 		}
 		fmt.Fprintln(w)

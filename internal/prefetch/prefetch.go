@@ -1,12 +1,3 @@
-// Package prefetch defines the prefetcher abstraction shared by Planaria and
-// the baseline prefetchers, plus the bounded prefetch queue that feeds the
-// DRAM controllers.
-//
-// The central idea, taken from the paper's coordinator (Section 2), is that
-// learning and issuing are separate operations: Train observes every demand
-// access ("full-pattern directed" learning), while Issue is invoked
-// selectively and returns the blocks to prefetch. Monolithic prefetchers
-// simply do their bookkeeping in Train and their prediction in Issue.
 package prefetch
 
 import (
@@ -44,6 +35,18 @@ type Prefetcher interface {
 	StorageBits() int
 	// Reset clears all learned state.
 	Reset()
+}
+
+// Component is a tournament entrant: a Prefetcher that can additionally
+// predict without side effects. Peek appends to dst the blocks the
+// component would issue for a and returns the extended slice; it must not
+// mutate learned state, statistics or emit events, because the tournament
+// calls it on every component for every trigger (shadow evaluation) to
+// score the meta-predictor's trust counters. Implementations should treat
+// dst as scratch owned by the caller and never retain it.
+type Component interface {
+	Prefetcher
+	Peek(a Access, dst []addr.BlockNum) []addr.BlockNum
 }
 
 // None is the no-prefetcher baseline.

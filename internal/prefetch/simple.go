@@ -30,7 +30,15 @@ func (p *NextLine) Issue(a Access) []addr.BlockNum {
 	if !a.Miss {
 		return nil
 	}
-	out := make([]addr.BlockNum, 0, p.Degree)
+	return p.Peek(a, make([]addr.BlockNum, 0, p.Degree))
+}
+
+// Peek implements Component. NextLine is stateless, so Peek and Issue
+// predict identically.
+func (p *NextLine) Peek(a Access, dst []addr.BlockNum) []addr.BlockNum {
+	if !a.Miss {
+		return dst
+	}
 	page := a.Block.Page()
 	ch := a.Block.Channel()
 	so := a.Block.SegOffset()
@@ -39,9 +47,9 @@ func (p *NextLine) Issue(a Access) []addr.BlockNum {
 		if n >= addr.SegmentBlocks {
 			break
 		}
-		out = append(out, page.Block(addr.OffsetOf(ch, n)))
+		dst = append(dst, page.Block(addr.OffsetOf(ch, n)))
 	}
-	return out
+	return dst
 }
 
 // StorageBits implements Prefetcher.
@@ -119,7 +127,16 @@ func (p *Stride) Issue(a Access) []addr.BlockNum {
 	if !e.valid || e.page != a.Page() || e.confidence < 2 || e.stride == 0 {
 		return nil
 	}
-	out := make([]addr.BlockNum, 0, p.degree)
+	return p.Peek(a, make([]addr.BlockNum, 0, p.degree))
+}
+
+// Peek implements Component: the same prediction as Issue, appended to dst,
+// with no state mutation (the stride table is only read).
+func (p *Stride) Peek(a Access, dst []addr.BlockNum) []addr.BlockNum {
+	e := p.slot(a.Page())
+	if !e.valid || e.page != a.Page() || e.confidence < 2 || e.stride == 0 {
+		return dst
+	}
 	page := a.Page()
 	ch := a.Block.Channel()
 	off := a.Block.SegOffset()
@@ -128,9 +145,9 @@ func (p *Stride) Issue(a Access) []addr.BlockNum {
 		if n < 0 || n >= addr.SegmentBlocks {
 			break
 		}
-		out = append(out, page.Block(addr.OffsetOf(ch, n)))
+		dst = append(dst, page.Block(addr.OffsetOf(ch, n)))
 	}
-	return out
+	return dst
 }
 
 // StorageBits implements Prefetcher: page tag (36 b) + offset (4 b) +

@@ -80,6 +80,34 @@ func BenchmarkEngineStepTraced(b *testing.B) {
 	b.ReportMetric(float64(len(tr)*b.N)/b.Elapsed().Seconds(), "req/s")
 }
 
+// BenchmarkEngineStepTournament is the N-way arbitration overhead guard: the
+// serial BenchmarkEngineStep run under planaria-tournament (the composite
+// plus the stride/markov/accel components and the set-dueling selector).
+// Every component trains on every access and shadow-predicts on every miss,
+// so this bounds the full tournament hot path; BENCH_baseline.json pins it
+// with "relative_to": "EngineStep" so cmd/benchguard fails CI when the
+// tournament falls below the pinned fraction of the bare composite's req/s.
+func BenchmarkEngineStepTournament(b *testing.B) {
+	p := workloads.Catalog()[0]
+	tr := p.Generate(100_000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg := DefaultConfig()
+		factory, err := NamedPrefetcher("planaria-tournament")
+		if err != nil {
+			b.Fatal(err)
+		}
+		cfg.NewPrefetcher = factory
+		cfg.ParallelChannels = false
+		eng := New(cfg)
+		if _, err := eng.Run(tr, p.Abbr); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(tr)*b.N)/b.Elapsed().Seconds(), "req/s")
+}
+
 // benchEngineStream is the streaming pipeline end to end: records flow from
 // the workload generator through RunStream without ever materializing the
 // trace, so each iteration pays generation + simulation (the slice

@@ -98,8 +98,9 @@ func DefaultConfig() Config {
 }
 
 // NamedPrefetcher returns a prefetcher factory for the given name:
-// "none", "nextline", "stride", "bop", "spp", "planaria", "planaria-slp",
-// "planaria-tlp", "planaria-serial", "planaria-parallel".
+// "none", "nextline", "stride", "markov", "accel", "bop", "spp",
+// "planaria", "planaria-slp", "planaria-tlp", "planaria-serial",
+// "planaria-parallel", "planaria-tournament".
 func NamedPrefetcher(name string) (func(int) prefetch.Prefetcher, error) {
 	switch name {
 	case "none":
@@ -132,16 +133,40 @@ func NamedPrefetcher(name string) (func(int) prefetch.Prefetcher, error) {
 		cfg := core.DefaultConfig()
 		cfg.Mode = core.Parallel
 		return func(int) prefetch.Prefetcher { return core.New(cfg) }, nil
+	case "markov":
+		return func(int) prefetch.Prefetcher { return prefetch.NewMarkov(prefetch.DefaultMarkovConfig()) }, nil
+	case "accel":
+		return func(int) prefetch.Prefetcher { return prefetch.NewAccel(prefetch.DefaultAccelConfig()) }, nil
+	case "planaria-tournament":
+		return TournamentPrefetcher(), nil
 	}
 	return nil, fmt.Errorf("sim: unknown prefetcher %q", name)
+}
+
+// TournamentPrefetcher returns the factory behind "planaria-tournament":
+// per channel, a prefetch.Tournament over the Planaria composite (component
+// 0, the priority fallback — so the paper's SLP-priority rule survives as
+// the default) plus the three PC-free delta-family components (stride,
+// Markov-2, accel) under the default set-dueling meta-predictor. See
+// docs/PREFETCHERS.md for the component algorithms and storage budgets.
+func TournamentPrefetcher() func(int) prefetch.Prefetcher {
+	return func(int) prefetch.Prefetcher {
+		return prefetch.NewTournament(
+			prefetch.TournamentConfig{Name: "planaria-tournament"},
+			core.New(core.DefaultConfig()),
+			prefetch.NewStride(256, 2),
+			prefetch.NewMarkov(prefetch.DefaultMarkovConfig()),
+			prefetch.NewAccel(prefetch.DefaultAccelConfig()),
+		)
+	}
 }
 
 // PrefetcherNames lists the names accepted by NamedPrefetcher.
 func PrefetcherNames() []string {
 	return []string{
-		"none", "nextline", "stride", "bop", "spp", "spp-ghr",
+		"none", "nextline", "stride", "markov", "accel", "bop", "spp", "spp-ghr",
 		"planaria", "planaria-slp", "planaria-tlp",
-		"planaria-serial", "planaria-parallel",
+		"planaria-serial", "planaria-parallel", "planaria-tournament",
 	}
 }
 

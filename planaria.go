@@ -54,6 +54,21 @@ type Options struct {
 	// implementation; the constructor is called once per DRAM channel.
 	Custom func(channel int) Prefetcher
 
+	// Tournament, when non-empty, overrides Prefetcher with a tournament
+	// over the named built-ins: the listed prefetchers become the
+	// components, in priority order (component 0 is the fallback), under
+	// the set-dueling meta-predictor (docs/PREFETCHERS.md). Each name must
+	// be a built-in that supports shadow prediction — currently planaria
+	// and its variants, nextline, stride, markov and accel; bop and spp do
+	// not qualify and are rejected by NewSimulator.
+	Tournament []string
+	// TournamentCustom, when non-nil, appends user components to the
+	// tournament after the named ones; the constructor is called once per
+	// DRAM channel. When Tournament is empty, the custom components join
+	// the default planaria-tournament set (planaria, stride, markov,
+	// accel).
+	TournamentCustom func(channel int) []Component
+
 	// CacheBytes is the per-channel SC slice capacity (default 1 MiB —
 	// one quarter of the paper's 4 MB SC).
 	CacheBytes int
@@ -86,6 +101,16 @@ type Prefetcher interface {
 	StorageBits() int
 }
 
+// Component is the public tournament-entrant interface: a Prefetcher that
+// can additionally predict without side effects. Peek returns the block
+// addresses the component would issue for the access without mutating any
+// learned state — the tournament calls it on every component for every
+// trigger to score its meta-predictor, so it must be cheap and pure.
+type Component interface {
+	Prefetcher
+	Peek(a Access, miss bool) []uint64
+}
+
 // customAdapter bridges a public Prefetcher to the internal interface.
 type customAdapter struct{ p Prefetcher }
 
@@ -106,10 +131,60 @@ func (c customAdapter) Issue(a prefetch.Access) []addr.BlockNum {
 	return out
 }
 
+// componentAdapter bridges a public Component (custom tournament entrant)
+// to the internal Component interface.
+type componentAdapter struct{ customAdapter }
+
+func (c componentAdapter) Peek(a prefetch.Access, dst []addr.BlockNum) []addr.BlockNum {
+	targets := c.p.(Component).Peek(Access{Addr: uint64(a.Block.Addr()), Cycle: a.Cycle, Write: a.Write}, a.Miss)
+	for _, t := range targets {
+		dst = append(dst, addr.Addr(t).Block())
+	}
+	return dst
+}
+
+// defaultTournamentSet is the component list behind the built-in
+// planaria-tournament, reused when Options.TournamentCustom is given
+// without Options.Tournament.
+var defaultTournamentSet = []string{"planaria", "stride", "markov", "accel"}
+
+// tournamentFactory builds the per-channel constructor for
+// Options.Tournament / Options.TournamentCustom, validating the component
+// names eagerly so NewSimulator fails fast on a non-Component built-in.
+func tournamentFactory(opts Options) (func(int) prefetch.Prefetcher, error) {
+	names := opts.Tournament
+	if len(names) == 0 {
+		names = defaultTournamentSet
+	}
+	factories := make([]func(int) prefetch.Prefetcher, len(names))
+	for i, name := range names {
+		f, err := sim.NamedPrefetcher(name)
+		if err != nil {
+			return nil, err
+		}
+		if _, ok := f(0).(prefetch.Component); !ok {
+			return nil, fmt.Errorf("planaria: prefetcher %q cannot enter a tournament (no shadow prediction)", name)
+		}
+		factories[i] = f
+	}
+	return func(ch int) prefetch.Prefetcher {
+		comps := make([]prefetch.Component, 0, len(factories)+2)
+		for _, f := range factories {
+			comps = append(comps, f(ch).(prefetch.Component))
+		}
+		if opts.TournamentCustom != nil {
+			for _, c := range opts.TournamentCustom(ch) {
+				comps = append(comps, componentAdapter{customAdapter{p: c}})
+			}
+		}
+		return prefetch.NewTournament(prefetch.TournamentConfig{Name: "tournament"}, comps...)
+	}, nil
+}
+
 // Prefetchers lists the built-in prefetcher names accepted by
-// Options.Prefetcher: none, nextline, stride, bop, spp, planaria and the
-// planaria-slp / planaria-tlp / planaria-serial / planaria-parallel
-// variants.
+// Options.Prefetcher: none, nextline, stride, markov, accel, bop, spp,
+// planaria and the planaria-slp / planaria-tlp / planaria-serial /
+// planaria-parallel / planaria-tournament variants.
 func Prefetchers() []string { return sim.PrefetcherNames() }
 
 // Result summarises one simulation run.
@@ -173,6 +248,12 @@ func NewSimulator(opts Options) (*Simulator, error) {
 		cfg.NewPrefetcher = func(ch int) prefetch.Prefetcher {
 			return customAdapter{p: opts.Custom(ch)}
 		}
+	case len(opts.Tournament) > 0 || opts.TournamentCustom != nil:
+		f, err := tournamentFactory(opts)
+		if err != nil {
+			return nil, err
+		}
+		cfg.NewPrefetcher = f
 	case opts.Prefetcher != "":
 		f, err := sim.NamedPrefetcher(opts.Prefetcher)
 		if err != nil {
