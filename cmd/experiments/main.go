@@ -36,6 +36,7 @@ func main() {
 	n := flag.Int("n", 800_000, "requests per application trace")
 	warmup := flag.Float64("warmup", 0.2, "fraction of each trace run before statistics start (0 < w < 0.9; negative disables)")
 	parallel := flag.Bool("parallel", true, "run each simulation's channel slices concurrently (-parallel=false forces the serial engine)")
+	subshards := flag.Int("subshards", 0, "address-hashed sub-shards per channel for every run (power of two; 0 = auto from GOMAXPROCS, 1 = the unsharded paper geometry; values > 1 change the simulated geometry and scale each run past 4 workers)")
 	stream := flag.Bool("stream", true, "stream records to each engine in O(chunk) memory (bit-identical reports; -stream=false materializes traces)")
 	run := flag.String("run", "all", "experiment id (all, fig2, fig4, fig5, fig7, fig8, fig9, fig9b, fig10, tab-ipc, tab-traffic, tab-storage, cache-study, abl-coord, abl-dist, abl-pt, csv)")
 	jsonPath := flag.String("json", "", "write a combined JSON run artifact to this path")
@@ -95,12 +96,16 @@ func main() {
 		defer stop()
 	}
 
+	if *subshards == 0 {
+		*subshards = sim.AutoSubShards()
+	}
 	opts := experiments.Options{
 		Requests:         *n,
 		Warmup:           *warmup,
 		SampleEvery:      *sampleEvery,
 		ArtifactDir:      *artifactDir,
 		Serial:           !*parallel,
+		SubShards:        *subshards,
 		NoStream:         !*stream,
 		ExtraPrefetchers: extras,
 	}

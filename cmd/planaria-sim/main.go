@@ -46,7 +46,9 @@ func main() {
 	verbose := flag.Bool("v", false, "print detailed DRAM/cache counters")
 	warmup := flag.Float64("warmup", 0, "fraction of the trace run before statistics start (0 disables)")
 	parallel := flag.Bool("parallel", true, "run the four channel slices concurrently (bit-identical reports; -parallel=false forces the serial engine)")
+	subshards := flag.Int("subshards", 0, "address-hashed sub-shards per channel (power of two; 0 = auto from GOMAXPROCS, 1 = the unsharded paper geometry; values > 1 change the simulated geometry — see the report's parallel: line — and scale -parallel past 4 workers)")
 	stream := flag.Bool("stream", true, "stream records to the engine in O(chunk) memory instead of materializing the trace (bit-identical reports; -stream=false materializes)")
+	useMmap := flag.Bool("mmap", true, "memory-map the -trace file and decode records straight from the mapping (falls back to buffered reads when mapping is unavailable; -mmap=false forces the buffered reader)")
 	jsonPath := flag.String("json", "", "write a JSON run artifact (manifest + report + time series) to this path")
 	sampleEvery := flag.Uint64("sample-every", 0, "emit a windowed time-series sample every N requests (0 disables)")
 	sampleCycles := flag.Uint64("sample-cycles", 0, "emit a windowed time-series sample every N trace cycles (0 disables)")
@@ -68,13 +70,28 @@ func main() {
 		records int
 	)
 	if *traceFile != "" {
-		f, err := os.Open(*traceFile)
-		if err != nil {
-			fatal(err)
-		}
-		defer f.Close()
 		name = *traceFile
-		if *stream {
+		switch {
+		case *stream && *useMmap:
+			// Memory-mapped replay: records decode straight from the
+			// mapped file (OpenMapped falls back to buffered reads by
+			// itself when the platform cannot map).
+			mt, err := trace.OpenMapped(*traceFile)
+			if err != nil {
+				fatal(err)
+			}
+			defer mt.Close()
+			ms, err := mt.Stream()
+			if err != nil {
+				fatal(err)
+			}
+			s, records = ms, mt.Len()
+		case *stream:
+			f, err := os.Open(*traceFile)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
 			rs := trace.NewReader(f).Stream()
 			fi, err := f.Stat()
 			if err != nil {
@@ -85,8 +102,13 @@ func main() {
 				records = rc
 			}
 			s = rs
-		} else {
+		default:
+			f, err := os.Open(*traceFile)
+			if err != nil {
+				fatal(err)
+			}
 			tt, err := trace.ReadAllFrom(f)
+			f.Close()
 			if err != nil {
 				fatal(err)
 			}
@@ -117,6 +139,10 @@ func main() {
 	cfg.SampleEvery = *sampleEvery
 	cfg.SampleEveryCycles = *sampleCycles
 	cfg.ParallelChannels = *parallel
+	if *subshards == 0 {
+		*subshards = sim.AutoSubShards()
+	}
+	cfg.SubShards = *subshards
 	// Event tracing: -trace-out needs the per-channel rings; -attrib and
 	// -debug-addr only need the attribution counters (ring size 0).
 	if *traceOut != "" {

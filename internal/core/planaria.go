@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	mbits "math/bits"
 
 	"repro/internal/addr"
 	"repro/internal/events"
@@ -159,29 +160,36 @@ func (p *Planaria) selectSLP(a prefetch.Access) bool {
 
 // Issue implements prefetch.Prefetcher — the issuing phase.
 func (p *Planaria) Issue(a prefetch.Access) []addr.BlockNum {
+	return p.IssueTo(a, nil)
+}
+
+// IssueTo implements prefetch.BufferedIssuer: Issue appending into the
+// caller's buffer. The engine threads one persistent buffer per channel
+// through here, making the composite's entire issuing phase allocation-free.
+func (p *Planaria) IssueTo(a prefetch.Access, dst []addr.BlockNum) []addr.BlockNum {
 	if !a.Miss {
-		return nil
+		return dst
 	}
 	if p.cfg.Mode == Parallel {
-		var out []addr.BlockNum
+		base := len(dst)
 		if !p.cfg.DisableSLP {
-			if c := p.slp.Issue(a); len(c) > 0 {
+			if dst = p.slp.IssueTo(a, dst); len(dst) > base {
 				p.slpIssues++
-				out = append(out, c...)
 			}
 		}
+		mid := len(dst)
 		if !p.cfg.DisableTLP {
-			if c := p.tlp.Issue(a); len(c) > 0 {
+			if dst = p.tlp.IssueTo(a, dst); len(dst) > mid {
 				p.tlpIssues++
-				out = append(out, c...)
 			}
 		}
-		return dedup(out)
+		return dedupTail(dst, base, mid)
 	}
 	// Decoupled and Serial both issue serially: SLP first, TLP as the
 	// fallback when SLP has nothing for this page.
+	base := len(dst)
 	if !p.cfg.DisableSLP {
-		if c := p.slp.Issue(a); len(c) > 0 {
+		if dst = p.slp.IssueTo(a, dst); len(dst) > base {
 			p.slpIssues++
 			p.lastOrigin = "slp"
 			if p.sink != nil {
@@ -193,14 +201,14 @@ func (p *Planaria) Issue(a prefetch.Access) []addr.BlockNum {
 				}
 				p.sink.Emit(events.Event{
 					Kind: events.KindArbitration, Cycle: a.Cycle, Block: a.Block,
-					Origin: events.OriginSLP, Reason: reason, N: uint16(len(c)),
+					Origin: events.OriginSLP, Reason: reason, N: uint16(len(dst) - base),
 				})
 			}
-			return c
+			return dst
 		}
 	}
 	if !p.cfg.DisableTLP {
-		if c := p.tlp.Issue(a); len(c) > 0 {
+		if dst = p.tlp.IssueTo(a, dst); len(dst) > base {
 			p.tlpIssues++
 			p.lastOrigin = "tlp"
 			if p.sink != nil {
@@ -212,14 +220,14 @@ func (p *Planaria) Issue(a prefetch.Access) []addr.BlockNum {
 				}
 				p.sink.Emit(events.Event{
 					Kind: events.KindArbitration, Cycle: a.Cycle, Block: a.Block,
-					Origin: events.OriginTLP, Reason: reason, N: uint16(len(c)),
+					Origin: events.OriginTLP, Reason: reason, N: uint16(len(dst) - base),
 				})
 			}
-			return c
+			return dst
 		}
 	}
 	p.lastOrigin = ""
-	return nil
+	return dst
 }
 
 // Peek implements prefetch.Component: the blocks Issue would return for a,
@@ -234,26 +242,23 @@ func (p *Planaria) Peek(a prefetch.Access, dst []addr.BlockNum) []addr.BlockNum 
 	ch := a.Block.Channel()
 	trigger := a.Block.SegOffset()
 	if p.cfg.Mode == Parallel {
-		// Union of both sub-prefetchers, deduplicated like Issue's dedup.
-		base := len(dst)
+		// Union of both sub-prefetchers, deduplicated like IssueTo's
+		// dedupTail (an offset mask; all candidates live in the trigger
+		// page's segment).
+		var seen uint16
 		if !p.cfg.DisableSLP {
-			if bits, ok := p.slp.Pattern(page); ok {
-				for _, o := range bits.Clear(trigger).Offsets() {
-					dst = append(dst, page.Block(addr.OffsetOf(ch, o)))
+			if pat, ok := p.slp.Pattern(page); ok {
+				rest := uint16(pat.Clear(trigger))
+				seen = rest
+				for v := rest; v != 0; v &= v - 1 {
+					dst = append(dst, page.Block(addr.OffsetOf(ch, mbits.TrailingZeros16(v))))
 				}
 			}
 		}
 		if !p.cfg.DisableTLP {
 			if _, transfer, ok := p.tlp.BestNeighbor(page); ok {
-			transfers:
-				for _, o := range transfer.Offsets() {
-					b := page.Block(addr.OffsetOf(ch, o))
-					for _, seen := range dst[base:] {
-						if seen == b {
-							continue transfers
-						}
-					}
-					dst = append(dst, b)
+				for v := uint16(transfer) &^ seen; v != 0; v &= v - 1 {
+					dst = append(dst, page.Block(addr.OffsetOf(ch, mbits.TrailingZeros16(v))))
 				}
 			}
 		}
@@ -262,10 +267,10 @@ func (p *Planaria) Peek(a prefetch.Access, dst []addr.BlockNum) []addr.BlockNum 
 	// Decoupled and Serial: SLP's snapshot first, TLP as the fallback —
 	// the same priority order as Issue.
 	if !p.cfg.DisableSLP {
-		if bits, ok := p.slp.Pattern(page); ok {
-			if offs := bits.Clear(trigger).Offsets(); len(offs) > 0 {
-				for _, o := range offs {
-					dst = append(dst, page.Block(addr.OffsetOf(ch, o)))
+		if pat, ok := p.slp.Pattern(page); ok {
+			if rest := uint16(pat.Clear(trigger)); rest != 0 {
+				for v := rest; v != 0; v &= v - 1 {
+					dst = append(dst, page.Block(addr.OffsetOf(ch, mbits.TrailingZeros16(v))))
 				}
 				return dst
 			}
@@ -273,8 +278,8 @@ func (p *Planaria) Peek(a prefetch.Access, dst []addr.BlockNum) []addr.BlockNum 
 	}
 	if !p.cfg.DisableTLP {
 		if _, transfer, ok := p.tlp.BestNeighbor(page); ok {
-			for _, o := range transfer.Offsets() {
-				dst = append(dst, page.Block(addr.OffsetOf(ch, o)))
+			for v := uint16(transfer); v != 0; v &= v - 1 {
+				dst = append(dst, page.Block(addr.OffsetOf(ch, mbits.TrailingZeros16(v))))
 			}
 		}
 	}
@@ -300,26 +305,37 @@ func (p *Planaria) StorageBits() int {
 	return p.slp.StorageBits() + p.tlp.StorageBits()
 }
 
-func dedup(in []addr.BlockNum) []addr.BlockNum {
-	if len(in) < 2 {
-		return in
+// dedupTail removes from dst[mid:] (TLP's candidates) any block already
+// present in dst[base:mid] (SLP's), compacting in place. Both
+// sub-prefetchers target only the trigger page's own channel segment and
+// never repeat an offset internally, so membership is a 16-bit mask of
+// segment offsets — the allocation-free replacement for the per-call map
+// the Parallel-mode union used to build.
+func dedupTail(dst []addr.BlockNum, base, mid int) []addr.BlockNum {
+	if mid == len(dst) || base == mid {
+		return dst
 	}
-	seen := make(map[addr.BlockNum]struct{}, len(in))
-	out := in[:0]
-	for _, b := range in {
-		if _, ok := seen[b]; ok {
-			continue
+	var seen uint16
+	for _, b := range dst[base:mid] {
+		seen |= 1 << uint(b.SegOffset())
+	}
+	out := dst[:mid]
+	for _, b := range dst[mid:] {
+		if bit := uint16(1) << uint(b.SegOffset()); seen&bit == 0 {
+			seen |= bit
+			out = append(out, b)
 		}
-		seen[b] = struct{}{}
-		out = append(out, b)
 	}
 	return out
 }
 
 // Interface conformance checks.
 var (
-	_ prefetch.Prefetcher = (*Planaria)(nil)
-	_ prefetch.Component  = (*Planaria)(nil)
-	_ prefetch.Prefetcher = (*SLP)(nil)
-	_ prefetch.Prefetcher = (*TLP)(nil)
+	_ prefetch.Prefetcher     = (*Planaria)(nil)
+	_ prefetch.Component      = (*Planaria)(nil)
+	_ prefetch.Prefetcher     = (*SLP)(nil)
+	_ prefetch.Prefetcher     = (*TLP)(nil)
+	_ prefetch.BufferedIssuer = (*Planaria)(nil)
+	_ prefetch.BufferedIssuer = (*SLP)(nil)
+	_ prefetch.BufferedIssuer = (*TLP)(nil)
 )

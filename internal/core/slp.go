@@ -8,9 +8,12 @@
 package core
 
 import (
+	"math/bits"
+
 	"repro/internal/addr"
 	"repro/internal/bitmap"
 	"repro/internal/events"
+	"repro/internal/hashidx"
 	"repro/internal/prefetch"
 )
 
@@ -67,9 +70,12 @@ type SLP struct {
 	ptMask uint64
 	sweep  int // round-robin AT timeout scan position
 
-	// Software indices emulating the hardware CAM lookups in O(1).
-	ftIdx map[addr.PageNum]int
-	atIdx map[addr.PageNum]int
+	// Software indices emulating the hardware CAM lookups in O(1). The FT
+	// and AT entry arrays above are the pre-allocated slabs; these
+	// open-addressing indices (allocation-free under churn, unlike Go
+	// maps) find a page's slab slot, so a warm SLP never allocates.
+	ftIdx *hashidx.U64
+	atIdx *hashidx.U64
 
 	// statistics
 	promotions uint64 // FT→AT
@@ -112,8 +118,8 @@ func NewSLP(cfg SLPConfig) *SLP {
 		at:     make([]atEntry, cfg.ATEntries),
 		pt:     make([]ptEntry, n),
 		ptMask: uint64(n - 1),
-		ftIdx:  make(map[addr.PageNum]int, cfg.FTEntries),
-		atIdx:  make(map[addr.PageNum]int, cfg.ATEntries),
+		ftIdx:  hashidx.New(cfg.FTEntries),
+		atIdx:  hashidx.New(cfg.ATEntries),
 	}
 }
 
@@ -132,8 +138,8 @@ func (s *SLP) Reset() {
 		s.pt[i] = ptEntry{}
 	}
 	s.sweep, s.promotions, s.snapshots, s.issues = 0, 0, 0, 0
-	s.ftIdx = make(map[addr.PageNum]int, len(s.ft))
-	s.atIdx = make(map[addr.PageNum]int, len(s.at))
+	s.ftIdx.Reset()
+	s.atIdx.Reset()
 }
 
 // Train implements prefetch.Prefetcher (the SLP learning phase).
@@ -143,7 +149,7 @@ func (s *SLP) Train(a prefetch.Access) {
 	off := a.Block.SegOffset()
 
 	// Step 1: accumulate into an existing AT entry.
-	if i, ok := s.atIdx[p]; ok {
+	if i, ok := s.atIdx.Get(uint64(p)); ok {
 		e := &s.at[i]
 		e.bits = e.bits.Set(off)
 		e.last = a.Cycle
@@ -151,12 +157,12 @@ func (s *SLP) Train(a prefetch.Access) {
 	}
 
 	// Step 2/3: filter table.
-	if i, ok := s.ftIdx[p]; ok {
+	if i, ok := s.ftIdx.Get(uint64(p)); ok {
 		e := &s.ft[i]
 		e.bits = e.bits.Set(off)
 		e.last = a.Cycle
 		if e.bits.Count() >= s.cfg.FTPromote {
-			s.promote(i, a.Cycle)
+			s.promote(int(i), a.Cycle)
 		}
 		return
 	}
@@ -176,10 +182,10 @@ func (s *SLP) Train(a prefetch.Access) {
 				ftIdx = i
 			}
 		}
-		delete(s.ftIdx, s.ft[ftIdx].page)
+		s.ftIdx.Delete(uint64(s.ft[ftIdx].page))
 	}
 	s.ft[ftIdx] = ftEntry{page: p, bits: bitmap.Seg16(0).Set(off), last: a.Cycle, valid: true}
-	s.ftIdx[p] = ftIdx
+	s.ftIdx.Put(uint64(p), int32(ftIdx))
 }
 
 // promote moves FT entry i into the AT (step 3), evicting the stalest AT
@@ -187,7 +193,7 @@ func (s *SLP) Train(a prefetch.Access) {
 func (s *SLP) promote(i int, now uint64) {
 	f := s.ft[i]
 	s.ft[i] = ftEntry{}
-	delete(s.ftIdx, f.page)
+	s.ftIdx.Delete(uint64(f.page))
 	s.promotions++
 	if s.sink != nil {
 		s.sink.Emit(events.Event{
@@ -210,10 +216,10 @@ func (s *SLP) promote(i int, now uint64) {
 			}
 		}
 		s.capture(s.at[atIdx])
-		delete(s.atIdx, s.at[atIdx].page)
+		s.atIdx.Delete(uint64(s.at[atIdx].page))
 	}
 	s.at[atIdx] = atEntry{page: f.page, bits: f.bits, last: now, valid: true}
-	s.atIdx[f.page] = atIdx
+	s.atIdx.Put(uint64(f.page), int32(atIdx))
 }
 
 // expire scans a few AT entries per call (a hardware-realistic round-robin
@@ -226,7 +232,7 @@ func (s *SLP) expire(now uint64) {
 		e := &s.at[i]
 		if e.valid && now > e.last && now-e.last > s.cfg.Timeout {
 			s.capture(*e)
-			delete(s.atIdx, e.page)
+			s.atIdx.Delete(uint64(e.page))
 			*e = atEntry{}
 		}
 	}
@@ -262,29 +268,34 @@ func (s *SLP) Pattern(p addr.PageNum) (bitmap.Seg16, bool) {
 // on a demand miss to a page with a recorded snapshot, prefetch every other
 // block of the snapshot.
 func (s *SLP) Issue(a prefetch.Access) []addr.BlockNum {
+	return s.IssueTo(a, nil)
+}
+
+// IssueTo implements prefetch.BufferedIssuer: Issue appending into the
+// caller's buffer, iterating the snapshot bitmap directly (no Offsets
+// slice) so a warm SLP issues without allocating.
+func (s *SLP) IssueTo(a prefetch.Access, dst []addr.BlockNum) []addr.BlockNum {
 	if !a.Miss {
-		return nil
+		return dst
 	}
 	p := a.Page()
-	bits, ok := s.Pattern(p)
+	pat, ok := s.Pattern(p)
 	if !ok {
-		return nil
+		return dst
 	}
 	// Even when the trigger lies outside the learned snapshot we still
 	// prefetch the snapshot: the paper's overlap experiment (Figure 4)
 	// shows footprints stay stable across phases.
-	trigger := a.Block.SegOffset()
-	ch := a.Block.Channel()
-	offs := bits.Clear(trigger).Offsets()
-	if len(offs) == 0 {
-		return nil
+	rest := pat.Clear(a.Block.SegOffset())
+	if rest == 0 {
+		return dst
 	}
-	out := make([]addr.BlockNum, 0, len(offs))
-	for _, o := range offs {
-		out = append(out, p.Block(addr.OffsetOf(ch, o)))
+	ch := a.Block.Channel()
+	for v := uint16(rest); v != 0; v &= v - 1 {
+		dst = append(dst, p.Block(addr.OffsetOf(ch, bits.TrailingZeros16(v))))
 	}
 	s.issues++
-	return out
+	return dst
 }
 
 // HasMetadata reports whether SLP could issue for page p — the coordinator's

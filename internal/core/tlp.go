@@ -1,9 +1,12 @@
 package core
 
 import (
+	"math/bits"
+
 	"repro/internal/addr"
 	"repro/internal/bitmap"
 	"repro/internal/events"
+	"repro/internal/hashidx"
 	"repro/internal/prefetch"
 )
 
@@ -43,7 +46,13 @@ type rptEntry struct {
 type TLP struct {
 	cfg TLPConfig
 	rpt []rptEntry
-	idx map[addr.PageNum]int
+	// refSlab is the single backing array all per-entry Ref rows are sliced
+	// from (one N×N slab instead of N row allocations — the RPT metadata
+	// arena).
+	refSlab []bool
+	// idx is the page → RPT-slot index; open addressing keeps the lookup
+	// allocation-free under entry churn.
+	idx *hashidx.U64
 
 	issues uint64
 
@@ -66,11 +75,13 @@ func NewTLP(cfg TLPConfig) *TLP {
 		cfg.MinCommon = 3
 	}
 	t := &TLP{cfg: cfg}
-	t.rpt = make([]rptEntry, cfg.RPTEntries)
+	n := cfg.RPTEntries
+	t.rpt = make([]rptEntry, n)
+	t.refSlab = make([]bool, n*n)
 	for i := range t.rpt {
-		t.rpt[i].refs = make([]bool, cfg.RPTEntries)
+		t.rpt[i].refs = t.refSlab[i*n : (i+1)*n : (i+1)*n]
 	}
-	t.idx = make(map[addr.PageNum]int, cfg.RPTEntries)
+	t.idx = hashidx.New(n)
 	return t
 }
 
@@ -86,7 +97,7 @@ func (t *TLP) Reset() {
 			e.refs[j] = false
 		}
 	}
-	t.idx = make(map[addr.PageNum]int, len(t.rpt))
+	t.idx.Reset()
 	t.issues = 0
 }
 
@@ -96,7 +107,7 @@ func (t *TLP) Reset() {
 func (t *TLP) Train(a prefetch.Access) {
 	p := a.Page()
 	off := a.Block.SegOffset()
-	if i, ok := t.idx[p]; ok {
+	if i, ok := t.idx.Get(uint64(p)); ok {
 		e := &t.rpt[i]
 		e.bits = e.bits.Set(off)
 		e.last = a.Cycle
@@ -105,13 +116,13 @@ func (t *TLP) Train(a prefetch.Access) {
 	i := t.allocate()
 	e := &t.rpt[i]
 	if e.valid {
-		delete(t.idx, e.page)
+		t.idx.Delete(uint64(e.page))
 	}
 	e.page = p
 	e.bits = bitmap.Seg16(0).Set(off)
 	e.last = a.Cycle
 	e.valid = true
-	t.idx[p] = i
+	t.idx.Put(uint64(p), int32(i))
 	// Recompute the Ref bits between the new entry and every other valid
 	// entry (the hardware sets these with one comparator per entry).
 	for j := range t.rpt {
@@ -144,7 +155,7 @@ func (t *TLP) allocate() int {
 // BestNeighbor returns the most similar flagged neighbour entry of page p
 // and the blocks it would transfer (neighbour minus self), or ok=false.
 func (t *TLP) BestNeighbor(p addr.PageNum) (neighbor addr.PageNum, transfer bitmap.Seg16, ok bool) {
-	i, exists := t.idx[p]
+	i, exists := t.idx.Get(uint64(p))
 	if !exists {
 		return 0, 0, false
 	}
@@ -174,28 +185,33 @@ func (t *TLP) BestNeighbor(p addr.PageNum) (neighbor addr.PageNum, transfer bitm
 // Issue implements prefetch.Prefetcher (the TLP issuing phase): on a demand
 // miss, transfer the best neighbour's surplus footprint onto this page.
 func (t *TLP) Issue(a prefetch.Access) []addr.BlockNum {
+	return t.IssueTo(a, nil)
+}
+
+// IssueTo implements prefetch.BufferedIssuer: Issue appending into the
+// caller's buffer, iterating the transfer bitmap directly (no Offsets
+// slice) so a warm TLP issues without allocating.
+func (t *TLP) IssueTo(a prefetch.Access, dst []addr.BlockNum) []addr.BlockNum {
 	if !a.Miss {
-		return nil
+		return dst
 	}
 	p := a.Page()
 	neighbor, transfer, ok := t.BestNeighbor(p)
 	if !ok {
-		return nil
+		return dst
 	}
 	ch := a.Block.Channel()
-	offs := transfer.Offsets()
-	out := make([]addr.BlockNum, 0, len(offs))
-	for _, o := range offs {
-		out = append(out, p.Block(addr.OffsetOf(ch, o)))
+	for v := uint16(transfer); v != 0; v &= v - 1 {
+		dst = append(dst, p.Block(addr.OffsetOf(ch, bits.TrailingZeros16(v))))
 	}
 	t.issues++
 	if t.sink != nil {
 		t.sink.Emit(events.Event{
 			Kind: events.KindTLPNeighbor, Cycle: a.Cycle, Block: a.Block,
-			Aux: uint64(neighbor), Origin: events.OriginTLP, N: uint16(len(offs)),
+			Aux: uint64(neighbor), Origin: events.OriginTLP, N: uint16(transfer.Count()),
 		})
 	}
-	return out
+	return dst
 }
 
 // Issues returns the number of Issue calls that produced prefetches.

@@ -122,8 +122,14 @@ type Controller struct {
 	cfg   Config
 	banks []bankState
 
-	lastActTimes  []uint64 // recent ACT issue times for tRRD/tFAW
-	lastActBank   int      // bank of the most recent ACT (scheduler hint)
+	// actRing holds the last four ACT issue times for the tRRD/tFAW
+	// constraints in a fixed ring (actCount grows monotonically; slot
+	// actCount&3 is the one an ACT four ago used, i.e. the next overwrite).
+	// A ring instead of an appended-and-resliced slice keeps noteAct — the
+	// single hottest call site of the controller — allocation-free.
+	actRing     [4]uint64
+	actCount    uint64
+	lastActBank int // bank of the most recent ACT (scheduler hint)
 	lastCASAt     uint64   // last RD/WR issue (tCCD)
 	lastBusyAt    uint64   // completion time of the most recent activity
 	lastWasWrite  bool
@@ -169,10 +175,9 @@ func NewController(cfg Config) *Controller {
 		cfg.Geometry = g
 	}
 	return &Controller{
-		cfg:          cfg,
-		banks:        make([]bankState, g.Banks),
-		lastActTimes: make([]uint64, 0, 8),
-		nextRefresh:  uint64(cfg.Timing.TREFI),
+		cfg:         cfg,
+		banks:       make([]bankState, g.Banks),
+		nextRefresh: uint64(cfg.Timing.TREFI),
 	}
 }
 
@@ -232,7 +237,10 @@ func (c *Controller) serviceOne() {
 	if c.headBypass >= c.cfg.StarveLimit {
 		c.headBypass = 0
 		r := c.queue[0]
-		c.queue = c.queue[1:]
+		// Shift-down removal (not a reslice): the backing array keeps its
+		// front, so the queue reaches a stable capacity instead of
+		// reallocating on every wraparound.
+		c.queue = append(c.queue[:0], c.queue[1:]...)
 		c.execute(r)
 		return
 	}
@@ -301,14 +309,14 @@ func (c *Controller) refreshDelay(t uint64) uint64 {
 // honouring tRRD against the previous ACT and the tFAW sliding window.
 func (c *Controller) actConstraint(t uint64) uint64 {
 	tm := c.cfg.Timing
-	n := len(c.lastActTimes)
-	if n > 0 {
-		if e := c.lastActTimes[n-1] + uint64(tm.TRRD); e > t {
+	if c.actCount > 0 {
+		if e := c.actRing[(c.actCount-1)&3] + uint64(tm.TRRD); e > t {
 			t = e
 		}
 	}
-	if n >= 4 {
-		if e := c.lastActTimes[n-4] + uint64(tm.TFAW); e > t {
+	if c.actCount >= 4 {
+		// Four ACTs ago sits in the slot the next noteAct overwrites.
+		if e := c.actRing[c.actCount&3] + uint64(tm.TFAW); e > t {
 			t = e
 		}
 	}
@@ -316,10 +324,8 @@ func (c *Controller) actConstraint(t uint64) uint64 {
 }
 
 func (c *Controller) noteAct(t uint64) {
-	c.lastActTimes = append(c.lastActTimes, t)
-	if len(c.lastActTimes) > 4 {
-		c.lastActTimes = c.lastActTimes[1:]
-	}
+	c.actRing[c.actCount&3] = t
+	c.actCount++
 	c.stats.Activates++
 }
 

@@ -17,6 +17,7 @@ func RunOneWith(p workloads.Profile, factory func(int) prefetch.Prefetcher, opts
 	cfg := sim.DefaultConfig()
 	cfg.NewPrefetcher = factory
 	cfg.SampleEvery = opts.SampleEvery
+	cfg.SubShards = opts.SubShards
 	cfg.Counters = opts.Counters
 	return runProfile(sim.New(cfg), p, opts)
 }

@@ -58,6 +58,7 @@ func CacheStudy(w io.Writer, opts Options, variants []CacheVariant) (map[string]
 			cfg.Cache.SizeBytes = v.SizeBytes
 			cfg.Cache.Policy = v.Policy
 			cfg.NewPrefetcher = factory
+			cfg.SubShards = opts.SubShards
 			cfg.Counters = opts.Counters
 			rep, err := runProfile(sim.New(cfg), p, opts)
 			if err != nil {

@@ -30,6 +30,13 @@ type Options struct {
 	// produces bit-identical reports (see docs/PERFORMANCE.md).
 	Serial bool
 
+	// SubShards splits each channel of every simulated run into this
+	// many address-hashed execution units (sim.Config.SubShards). Zero
+	// and one mean the unsharded paper geometry; values above one change
+	// the simulated geometry (reports record it) and let a parallel run
+	// scale past one worker per channel.
+	SubShards int
+
 	// NoStream materializes each trace in memory (via the byte-capped
 	// TraceFor cache) before running it, instead of the default O(chunk)
 	// streaming from the generator. Reports are bit-identical either way;
@@ -134,6 +141,7 @@ func RunOne(p workloads.Profile, pf string, opts Options) (metrics.Report, error
 	cfg.NewPrefetcher = factory
 	cfg.SampleEvery = opts.SampleEvery
 	cfg.ParallelChannels = !opts.Serial
+	cfg.SubShards = opts.SubShards
 	cfg.Counters = opts.Counters
 	return runProfile(sim.New(cfg), p, opts)
 }

@@ -1,0 +1,94 @@
+package hashidx
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestOracle churns the index against a reference map through a long random
+// schedule of inserts, overwrites, deletes and misses, checking full
+// agreement after every operation burst. Backward-shift deletion is the
+// subtle part; the heavy delete mix is deliberate.
+func TestOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	x := New(8)
+	ref := map[uint64]int32{}
+	keys := make([]uint64, 0, 4096)
+	for op := 0; op < 200_000; op++ {
+		switch r := rng.Intn(10); {
+		case r < 5: // insert / overwrite
+			var k uint64
+			if len(keys) > 0 && rng.Intn(3) == 0 {
+				k = keys[rng.Intn(len(keys))]
+			} else {
+				// Clustered keys mimic page numbers: long probe chains.
+				k = uint64(rng.Intn(2048))
+				keys = append(keys, k)
+			}
+			v := int32(rng.Intn(1 << 20))
+			x.Put(k, v)
+			ref[k] = v
+		case r < 8: // delete (present or absent)
+			k := uint64(rng.Intn(2048))
+			if len(keys) > 0 && rng.Intn(2) == 0 {
+				k = keys[rng.Intn(len(keys))]
+			}
+			x.Delete(k)
+			delete(ref, k)
+		default: // lookup of a random key
+			k := uint64(rng.Intn(2048))
+			v, ok := x.Get(k)
+			rv, rok := ref[k]
+			if ok != rok || (ok && v != rv) {
+				t.Fatalf("op %d: Get(%d) = %d,%v want %d,%v", op, k, v, ok, rv, rok)
+			}
+		}
+		if x.Len() != len(ref) {
+			t.Fatalf("op %d: Len = %d want %d", op, x.Len(), len(ref))
+		}
+	}
+	for k, rv := range ref {
+		if v, ok := x.Get(k); !ok || v != rv {
+			t.Fatalf("final: Get(%d) = %d,%v want %d,true", k, v, ok, rv)
+		}
+	}
+}
+
+// TestReset verifies Reset empties in place and the index is reusable.
+func TestReset(t *testing.T) {
+	x := New(4)
+	for k := uint64(0); k < 100; k++ {
+		x.Put(k, int32(k))
+	}
+	x.Reset()
+	if x.Len() != 0 {
+		t.Fatalf("Len after Reset = %d", x.Len())
+	}
+	if _, ok := x.Get(7); ok {
+		t.Fatal("Get(7) found a value after Reset")
+	}
+	x.Put(7, 70)
+	if v, ok := x.Get(7); !ok || v != 70 {
+		t.Fatalf("Get(7) after reuse = %d,%v", v, ok)
+	}
+}
+
+// TestSteadyStateAllocs pins the zero-allocation contract: once the table
+// has reached its high-water size, churn never allocates.
+func TestSteadyStateAllocs(t *testing.T) {
+	x := New(256)
+	for k := uint64(0); k < 256; k++ {
+		x.Put(k, int32(k))
+	}
+	k := uint64(0)
+	allocs := testing.AllocsPerRun(10_000, func() {
+		x.Delete(k)
+		x.Put(k+1000, int32(k))
+		x.Delete(k + 1000)
+		x.Put(k, int32(k))
+		k = (k + 1) % 256
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state churn allocated %.1f allocs/op, want 0", allocs)
+	}
+}

@@ -108,11 +108,16 @@ func (p *Accel) Train(a Access) {
 
 // Issue implements Prefetcher.
 func (p *Accel) Issue(a Access) []addr.BlockNum {
+	return p.IssueTo(a, nil)
+}
+
+// IssueTo implements BufferedIssuer.
+func (p *Accel) IssueTo(a Access, dst []addr.BlockNum) []addr.BlockNum {
 	if !a.Miss {
-		return nil
+		return dst
 	}
-	out := p.Peek(a, nil)
-	if len(out) > 0 {
+	out := p.Peek(a, dst)
+	if len(out) > len(dst) {
 		p.issues++
 	}
 	return out

@@ -181,11 +181,16 @@ func (m *Markov) Train(a Access) {
 
 // Issue implements Prefetcher.
 func (m *Markov) Issue(a Access) []addr.BlockNum {
+	return m.IssueTo(a, nil)
+}
+
+// IssueTo implements BufferedIssuer.
+func (m *Markov) IssueTo(a Access, dst []addr.BlockNum) []addr.BlockNum {
 	if !a.Miss {
-		return nil
+		return dst
 	}
-	out := m.Peek(a, nil)
-	if len(out) > 0 {
+	out := m.Peek(a, dst)
+	if len(out) > len(dst) {
 		m.issues++
 	}
 	return out

@@ -2,6 +2,7 @@ package prefetch
 
 import (
 	"repro/internal/addr"
+	"repro/internal/hashidx"
 )
 
 // Access is one demand access as seen at the system-cache level. There is
@@ -35,6 +36,19 @@ type Prefetcher interface {
 	StorageBits() int
 	// Reset clears all learned state.
 	Reset()
+}
+
+// BufferedIssuer is the allocation-free extension of Prefetcher: IssueTo
+// appends the blocks Issue would return for a to dst and returns the
+// extended slice, with exactly Issue's side effects (statistics, origin
+// tracking, events). The engine discovers it by type assertion once at
+// construction — like the origin and event-sink interfaces — and threads a
+// persistent per-channel buffer through it, so implementations never
+// allocate per trigger. Every built-in prefetcher implements it; Prefetcher
+// alone remains sufficient for custom implementations, at the cost of one
+// slice allocation per Issue.
+type BufferedIssuer interface {
+	IssueTo(a Access, dst []addr.BlockNum) []addr.BlockNum
 }
 
 // Component is a tournament entrant: a Prefetcher that can additionally
@@ -77,11 +91,16 @@ type Stats struct {
 
 // Queue is the bounded prefetch queue between a prefetcher and a DRAM
 // channel (Figure 1: "the generated prefetch requests are inserted into the
-// prefetch queue"). It deduplicates in-flight targets.
+// prefetch queue"). It deduplicates in-flight targets. The pending entries
+// live in a fixed ring and the in-flight set is an open-addressing index,
+// so steady-state Push/Pop/Complete never allocate (the old slice-reslice
+// pop and map-backed set dominated the engine's allocation profile).
 type Queue struct {
 	capLimit int
-	pending  []addr.BlockNum
-	inflight map[addr.BlockNum]struct{}
+	ring     []addr.BlockNum // fixed ring of capLimit slots
+	head     int             // index of the oldest queued target
+	count    int             // queued (not yet popped) targets
+	inflight *hashidx.U64    // queued + popped-but-not-Completed targets
 	stats    Stats
 }
 
@@ -92,7 +111,8 @@ func NewQueue(capacity int) *Queue {
 	}
 	return &Queue{
 		capLimit: capacity,
-		inflight: make(map[addr.BlockNum]struct{}, capacity),
+		ring:     make([]addr.BlockNum, capacity),
+		inflight: hashidx.New(2 * capacity),
 	}
 }
 
@@ -104,7 +124,7 @@ func (q *Queue) Stats() Stats { return q.stats }
 func (q *Queue) ResetStats() { q.stats = Stats{} }
 
 // Len returns the number of queued (not yet popped) targets.
-func (q *Queue) Len() int { return len(q.pending) }
+func (q *Queue) Len() int { return q.count }
 
 // Push offers a candidate. resident reports whether the block is already in
 // the cache (the engine passes a closure over the channel's cache slice).
@@ -115,16 +135,17 @@ func (q *Queue) Push(b addr.BlockNum, resident bool) bool {
 		q.stats.Filtered++
 		return false
 	}
-	if _, ok := q.inflight[b]; ok {
+	if _, ok := q.inflight.Get(uint64(b)); ok {
 		q.stats.Filtered++
 		return false
 	}
-	if len(q.pending) >= q.capLimit {
+	if q.count >= q.capLimit {
 		q.stats.Dropped++
 		return false
 	}
-	q.pending = append(q.pending, b)
-	q.inflight[b] = struct{}{}
+	q.ring[(q.head+q.count)%q.capLimit] = b
+	q.count++
+	q.inflight.Put(uint64(b), 0)
 	q.stats.Issued++
 	return true
 }
@@ -138,22 +159,23 @@ func (q *Queue) Reject() {
 
 // Pop removes and returns the oldest queued target.
 func (q *Queue) Pop() (addr.BlockNum, bool) {
-	if len(q.pending) == 0 {
+	if q.count == 0 {
 		return 0, false
 	}
-	b := q.pending[0]
-	q.pending = q.pending[1:]
+	b := q.ring[q.head]
+	q.head = (q.head + 1) % q.capLimit
+	q.count--
 	return b, true
 }
 
 // Complete marks a previously popped target as filled into the cache,
 // releasing its in-flight slot.
 func (q *Queue) Complete(b addr.BlockNum) {
-	delete(q.inflight, b)
+	q.inflight.Delete(uint64(b))
 }
 
 // InFlight reports whether b is queued or outstanding.
 func (q *Queue) InFlight(b addr.BlockNum) bool {
-	_, ok := q.inflight[b]
+	_, ok := q.inflight.Get(uint64(b))
 	return ok
 }

@@ -27,10 +27,15 @@ func (p *NextLine) Train(Access) {}
 // Issue implements Prefetcher: on a miss, the next Degree blocks of the same
 // channel segment (the unit this prefetcher instance owns).
 func (p *NextLine) Issue(a Access) []addr.BlockNum {
+	return p.IssueTo(a, nil)
+}
+
+// IssueTo implements BufferedIssuer.
+func (p *NextLine) IssueTo(a Access, dst []addr.BlockNum) []addr.BlockNum {
 	if !a.Miss {
-		return nil
+		return dst
 	}
-	return p.Peek(a, make([]addr.BlockNum, 0, p.Degree))
+	return p.Peek(a, dst)
 }
 
 // Peek implements Component. NextLine is stateless, so Peek and Issue
@@ -123,11 +128,13 @@ func (p *Stride) Train(a Access) {
 
 // Issue implements Prefetcher.
 func (p *Stride) Issue(a Access) []addr.BlockNum {
-	e := p.slot(a.Page())
-	if !e.valid || e.page != a.Page() || e.confidence < 2 || e.stride == 0 {
-		return nil
-	}
-	return p.Peek(a, make([]addr.BlockNum, 0, p.degree))
+	return p.IssueTo(a, nil)
+}
+
+// IssueTo implements BufferedIssuer: Peek into the caller's buffer (the
+// stride table is only read, so Issue and Peek predict identically).
+func (p *Stride) IssueTo(a Access, dst []addr.BlockNum) []addr.BlockNum {
+	return p.Peek(a, dst)
 }
 
 // Peek implements Component: the same prediction as Issue, appended to dst,

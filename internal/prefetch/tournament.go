@@ -221,26 +221,45 @@ func (t *Tournament) Train(a Access) {
 // priority order when it has nothing. Every component's would-be
 // predictions are then recorded in its shadow filter for scoring.
 func (t *Tournament) Issue(a Access) []addr.BlockNum {
+	return t.IssueTo(a, nil)
+}
+
+// issueComp lets component c issue into dst: through its BufferedIssuer
+// fast path when implemented (all built-ins), otherwise by copying its
+// Issue result (custom Components registered via the public API).
+func issueComp(c Component, a Access, dst []addr.BlockNum) []addr.BlockNum {
+	if bi, ok := c.(BufferedIssuer); ok {
+		return bi.IssueTo(a, dst)
+	}
+	return append(dst, c.Issue(a)...)
+}
+
+// IssueTo implements BufferedIssuer; the engine's persistent per-channel
+// buffer flows through the winning component, so a steady-state tournament
+// trigger allocates nothing.
+func (t *Tournament) IssueTo(a Access, dst []addr.BlockNum) []addr.BlockNum {
 	if !a.Miss {
-		return nil
+		return dst
 	}
 	region := t.meta.Region(a.Page())
 	selected, leader := t.meta.Select(region)
 
-	winner, out := -1, []addr.BlockNum(nil)
-	if cand := t.comps[selected].Issue(a); len(cand) > 0 {
-		winner, out = selected, cand
+	base := len(dst)
+	winner := -1
+	if dst = issueComp(t.comps[selected], a, dst); len(dst) > base {
+		winner = selected
 	} else {
 		for c := range t.comps {
 			if c == selected {
 				continue
 			}
-			if cand := t.comps[c].Issue(a); len(cand) > 0 {
-				winner, out = c, cand
+			if dst = issueComp(t.comps[c], a, dst); len(dst) > base {
+				winner = c
 				break
 			}
 		}
 	}
+	out := dst[base:]
 
 	// Shadow bookkeeping: what each component would have issued here.
 	// The winner's actual candidates stand in for its Peek.
@@ -261,7 +280,7 @@ func (t *Tournament) Issue(a Access) []addr.BlockNum {
 
 	if winner < 0 {
 		t.lastOrigin = ""
-		return nil
+		return dst
 	}
 	t.issuesBy[winner]++
 	t.lastOrigin = t.comps[winner].Name()
@@ -285,7 +304,7 @@ func (t *Tournament) Issue(a Access) []addr.BlockNum {
 			N: uint16(len(out)),
 		})
 	}
-	return out
+	return dst
 }
 
 // Peek implements Component, so tournaments compose: the selected
@@ -331,10 +350,15 @@ func (t *Tournament) StorageBits() int {
 
 // Interface conformance checks.
 var (
-	_ Prefetcher = (*Tournament)(nil)
-	_ Component  = (*Tournament)(nil)
-	_ Component  = (*Stride)(nil)
-	_ Component  = (*NextLine)(nil)
-	_ Component  = (*Markov)(nil)
-	_ Component  = (*Accel)(nil)
+	_ Prefetcher     = (*Tournament)(nil)
+	_ Component      = (*Tournament)(nil)
+	_ Component      = (*Stride)(nil)
+	_ Component      = (*NextLine)(nil)
+	_ Component      = (*Markov)(nil)
+	_ Component      = (*Accel)(nil)
+	_ BufferedIssuer = (*Tournament)(nil)
+	_ BufferedIssuer = (*Stride)(nil)
+	_ BufferedIssuer = (*NextLine)(nil)
+	_ BufferedIssuer = (*Markov)(nil)
+	_ BufferedIssuer = (*Accel)(nil)
 )

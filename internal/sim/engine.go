@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"runtime"
 
 	"repro/internal/addr"
 	"repro/internal/cache"
@@ -55,6 +56,22 @@ type Config struct {
 	// determinism/merge contract). DefaultConfig enables it; Step always
 	// runs serially.
 	ParallelChannels bool
+
+	// SubShards splits each channel into this many address-hashed
+	// execution units, so a parallel run scales past one worker per
+	// channel on wide hosts. A unit owns a 1/SubShards slice of the
+	// channel's SC capacity, its own DRAM controller (a bank-level
+	// parallelism approximation), prefetcher instance and queue; records
+	// route to units by a hash of the trigger's 64-page group, which
+	// keeps TLP's distance-64 neighbourhoods — and with them every
+	// built-in prefetcher's candidates — inside one unit. Values ≤ 1 (and
+	// the zero value) mean one unit per channel, which is bit-identical
+	// to the engine before sub-sharding existed. SubShards > 1 simulates
+	// a different (more finely sliced) system geometry: reports are
+	// deterministic and serial/parallel-identical at any fixed value, but
+	// differ across values. Non-power-of-two values are rounded down so
+	// per-unit set counts stay powers of two.
+	SubShards int
 
 	// SampleEvery closes a metrics time-series window every N trace
 	// records; SampleEveryCycles closes one whenever the trace clock has
@@ -170,8 +187,9 @@ func PrefetcherNames() []string {
 	}
 }
 
-// channelState is the complete state of one channel's memory-system slice.
-// Channels share nothing (the config pointer is read-only), which is what
+// channelState is the complete state of one execution unit — a channel's
+// memory-system slice, or one sub-shard of it when Config.SubShards > 1.
+// Units share nothing (the config pointer is read-only), which is what
 // makes the sharded parallel mode safe: each instance is driven by exactly
 // one goroutine at a time.
 type channelState struct {
@@ -181,9 +199,22 @@ type channelState struct {
 	pf    prefetch.Prefetcher
 	queue *prefetch.Queue
 
+	// unit is this state's index in Engine.units; shards is the per-channel
+	// sub-shard count. Together they let step reject prefetch candidates
+	// that belong to another unit without reaching into the engine.
+	unit   int
+	shards int
+
 	// tracker is pf's origin interface, resolved once at construction so
 	// the hot path pays no type assertion.
 	tracker originTracker
+
+	// issuer is pf's buffered-issue interface (nil when pf only implements
+	// Issue), and cands the persistent candidate buffer threaded through
+	// it — the issuing phase of every built-in prefetcher runs without a
+	// single allocation this way.
+	issuer prefetch.BufferedIssuer
+	cands  []addr.BlockNum
 
 	// In-flight prefetches, FIFO by readiness (constant latency).
 	pending pendingRing
@@ -234,11 +265,12 @@ type eventSinkSetter interface {
 
 // Engine is one simulation instance. Not safe for concurrent use by
 // callers; with Config.ParallelChannels set, Run and RunWarm internally
-// drive the four channel slices from one goroutine each.
+// drive every execution unit (channel × sub-shard) from one goroutine each.
 type Engine struct {
-	cfg      Config
-	channels [addr.Channels]*channelState
-	pfName   string
+	cfg    Config
+	units  []*channelState // len = addr.Channels × shards; unit u serves channel u/shards
+	shards int             // sub-shards per channel (≥ 1, power of two)
+	pfName string
 
 	// Observability: requests counts records since the last statistics
 	// reset; sampler is nil unless a sampling cadence was configured;
@@ -269,13 +301,37 @@ func New(cfg Config) *Engine {
 	if cfg.DRAM.Timing.TRAS == 0 {
 		cfg.DRAM = dram.DefaultConfig()
 	}
-	e := &Engine{cfg: cfg}
-	if cfg.Events != nil {
-		e.recorder = events.NewRecorder(addr.Channels, cfg.Events.RingSize)
+	shards := cfg.SubShards
+	if shards < 1 {
+		shards = 1
 	}
-	for ch := 0; ch < addr.Channels; ch++ {
+	// Round down to a power of two, then halve until the per-unit cache
+	// slice still validates (set counts must stay powers of two).
+	for shards&(shards-1) != 0 {
+		shards &= shards - 1
+	}
+	for shards > 1 {
 		ccfg := cfg.Cache
-		ccfg.Seed += int64(ch)
+		ccfg.SizeBytes /= shards
+		if ccfg.Validate() == nil {
+			break
+		}
+		shards >>= 1
+	}
+	e := &Engine{cfg: cfg, shards: shards}
+	numUnits := addr.Channels * shards
+	if cfg.Events != nil {
+		// One event sink per unit: the recorder treats units as channels,
+		// which every consumer (chrome trace, attribution) handles since
+		// they iterate Recorder.Channels().
+		e.recorder = events.NewRecorder(numUnits, cfg.Events.RingSize)
+	}
+	e.units = make([]*channelState, numUnits)
+	for u := 0; u < numUnits; u++ {
+		ch := u / shards
+		ccfg := cfg.Cache
+		ccfg.SizeBytes /= shards // constant total SC capacity per channel
+		ccfg.Seed += int64(u)    // equals the old per-channel seeding when shards == 1
 		pf := cfg.NewPrefetcher(ch)
 		cs := &channelState{
 			cfg:          &e.cfg,
@@ -283,6 +339,8 @@ func New(cfg Config) *Engine {
 			dram:         dram.NewController(cfg.DRAM),
 			pf:           pf,
 			queue:        prefetch.NewQueue(cfg.QueueCapacity),
+			unit:         u,
+			shards:       shards,
 			originIDs:    make(map[string]uint8),
 			originNames:  []string{""},
 			usefulOrigin: []uint64{0},
@@ -290,14 +348,15 @@ func New(cfg Config) *Engine {
 			originEv:     []events.Origin{events.OriginNone},
 		}
 		cs.tracker, _ = pf.(originTracker)
+		cs.issuer, _ = pf.(prefetch.BufferedIssuer)
 		if e.recorder != nil {
-			cs.ev = e.recorder.Channel(ch)
+			cs.ev = e.recorder.Channel(u)
 			if es, ok := pf.(eventSinkSetter); ok {
 				es.SetEventSink(cs.ev)
 			}
 		}
-		e.channels[ch] = cs
-		if ch == 0 {
+		e.units[u] = cs
+		if u == 0 {
 			e.pfName = pf.Name()
 		}
 	}
@@ -307,11 +366,49 @@ func New(cfg Config) *Engine {
 	return e
 }
 
+// AutoSubShards returns the sub-shard count the CLIs' "-subshards 0"
+// (auto) resolves to on this host: the smallest power of two M such that
+// channels × M covers GOMAXPROCS workers, capped at 8 — the deepest
+// slicing the default 1 MB per-channel cache supports. A host with at most
+// one worker per channel resolves to 1, i.e. the unsharded paper geometry.
+// Note sub-sharding is a simulated-geometry choice, not just an execution
+// knob: absolute numbers at M > 1 differ from M = 1, and the report header
+// records the geometry so runs are always comparable knowingly.
+func AutoSubShards() int {
+	p := runtime.GOMAXPROCS(0)
+	m := 1
+	for m < 8 && addr.Channels*m < p {
+		m <<= 1
+	}
+	return m
+}
+
+// unitIndex routes a block to its execution unit: the owning channel when
+// the engine runs one unit per channel, otherwise one of the channel's
+// sub-shards, selected by a multiplicative hash of the block's 64-page
+// group. Hashing at page-group granularity (page >> 6) keeps TLP's
+// distance-64 neighbourhoods — and with them every built-in prefetcher's
+// cross-page candidates — inside a single unit; hashing at bank granularity
+// would split SLP footprints because banks interleave within a page.
+func unitIndex(b addr.BlockNum, shards int) int {
+	ch := b.Channel()
+	if shards == 1 {
+		return ch
+	}
+	g := uint64(b.Page()) >> 6
+	return ch*shards + int(((g*0x9E3779B97F4A7C15)>>32)%uint64(shards))
+}
+
 // PrefetcherName returns the name of the configured prefetcher.
 func (e *Engine) PrefetcherName() string { return e.pfName }
 
-// Channel exposes a channel's prefetcher (for breakdown analyses).
-func (e *Engine) Channel(ch int) prefetch.Prefetcher { return e.channels[ch].pf }
+// SubShards returns the effective per-channel sub-shard count (≥ 1; see
+// Config.SubShards for how requested values are normalised).
+func (e *Engine) SubShards() int { return e.shards }
+
+// Channel exposes a channel's prefetcher (for breakdown analyses). With
+// sub-sharding enabled it returns the channel's first unit.
+func (e *Engine) Channel(ch int) prefetch.Prefetcher { return e.units[ch*e.shards].pf }
 
 // Events returns the event recorder, nil unless Config.Events was set.
 // Consumers read rings only after a run has returned; the attribution
@@ -322,15 +419,16 @@ func (e *Engine) Events() *events.Recorder { return e.recorder }
 // was set.
 func (e *Engine) Counters() *events.RunCounters { return e.cfg.Counters }
 
-// DRAM exposes a channel's memory controller (debugging and tooling).
-func (e *Engine) DRAM(ch int) *dram.Controller { return e.channels[ch].dram }
+// DRAM exposes a channel's memory controller (debugging and tooling). With
+// sub-sharding enabled it returns the controller of the channel's first unit.
+func (e *Engine) DRAM(ch int) *dram.Controller { return e.units[ch*e.shards].dram }
 
 // ResetStats discards all statistics gathered so far while preserving the
 // functional and timing state of every component — the standard warmup
 // mechanism: run the first part of a trace, call ResetStats, then measure
 // the rest against warm caches and trained prefetchers.
 func (e *Engine) ResetStats() {
-	for _, cs := range e.channels {
+	for _, cs := range e.units {
 		cs.cache.ResetStats()
 		cs.dram.ResetStats()
 		cs.queue.ResetStats()
@@ -358,7 +456,7 @@ func (e *Engine) ResetStats() {
 	e.requests = 0
 	if e.sampler != nil {
 		var from uint64
-		for _, cs := range e.channels {
+		for _, cs := range e.units {
 			if cs.lastCycle > from {
 				from = cs.lastCycle
 			}
@@ -547,8 +645,15 @@ func (cs *channelState) step(rec trace.Record) error {
 		}
 	}
 
-	// Issuing phase.
-	cands := cs.pf.Issue(a)
+	// Issuing phase, through the persistent candidate buffer when the
+	// prefetcher supports it (all built-ins do).
+	var cands []addr.BlockNum
+	if cs.issuer != nil {
+		cs.cands = cs.issuer.IssueTo(a, cs.cands[:0])
+		cands = cs.cands
+	} else {
+		cands = cs.pf.Issue(a)
+	}
 	var originID2 uint8
 	if len(cands) > 0 {
 		if cs.tracker != nil {
@@ -558,10 +663,13 @@ func (cs *channelState) step(rec trace.Record) error {
 	}
 	issued := 0
 	for _, c := range cands {
-		if c.Channel() != blk.Channel() {
-			// A prefetcher instance may only target its own channel;
+		if unitIndex(c, cs.shards) != cs.unit {
+			// A prefetcher instance may only target its own unit (its
+			// channel, and with sub-sharding its page-group slice of it);
 			// drop foreign targets (defends against buggy custom
-			// prefetchers rather than silently corrupting a channel).
+			// prefetchers rather than silently corrupting another unit's
+			// cache). With shards == 1 this is exactly the old per-channel
+			// ownership check.
 			cs.queue.Reject()
 			continue
 		}
@@ -650,7 +758,7 @@ func (cs *channelState) addLateByOrigin(dst map[string]uint64) map[string]uint64
 
 // Step processes one trace record (the incremental, always-serial API).
 func (e *Engine) Step(rec trace.Record) error {
-	cs := e.channels[rec.Block().Channel()]
+	cs := e.units[unitIndex(rec.Block(), e.shards)]
 	if err := cs.step(rec); err != nil {
 		return err
 	}
@@ -667,7 +775,7 @@ func (e *Engine) Step(rec trace.Record) error {
 // metrics snapshot; ReadLatency mirrors the AMAT numerator of Finish.
 func (e *Engine) snapshot(cycle uint64) metrics.Snapshot {
 	s := metrics.Snapshot{Cycle: cycle, Requests: e.requests}
-	for _, cs := range e.channels {
+	for _, cs := range e.units {
 		cstats := cs.cache.Stats()
 		dstats := cs.dram.Stats()
 		qstats := cs.queue.Stats()
@@ -714,12 +822,14 @@ func (e *Engine) Finish(workload string) metrics.Report {
 	rep := metrics.Report{
 		Workload:       workload,
 		Prefetcher:     e.pfName,
+		Channels:       addr.Channels,
+		SubShards:      e.shards,
 		SCHitLatency:   e.cfg.SCHitLatency,
 		UsefulByOrigin: make(map[string]uint64),
 	}
 	pm := power.New(e.cfg.Power)
 	var totalReadLat, cycles, lastEnd uint64
-	for _, cs := range e.channels {
+	for _, cs := range e.units {
 		// Land any still-in-flight prefetches so accounting is complete.
 		_ = cs.commitPending(^uint64(0))
 		cs.dram.Flush()
@@ -765,7 +875,7 @@ func (e *Engine) Finish(workload string) metrics.Report {
 		// totals equal the report aggregates exactly.
 		rep.Series = e.sampler.Finish(e.snapshot(lastEnd))
 	}
-	for _, cs := range e.channels {
+	for _, cs := range e.units {
 		rep.Energy = power.Add(rep.Energy,
 			pm.Account(cs.dram.Stats(), cs.scEvents, cs.metaEvents,
 				uint64(cs.pf.StorageBits()), cycles))

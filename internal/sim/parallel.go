@@ -35,13 +35,14 @@ import (
 	"fmt"
 	"sync"
 
-	"repro/internal/addr"
 	"repro/internal/trace"
 )
 
-// parallelOK reports whether Run/RunWarm should use the sharded mode.
+// parallelOK reports whether Run/RunWarm should use the sharded mode. The
+// worker count is the engine's unit count — channels × sub-shards — so
+// Config.SubShards scales a parallel run past one worker per channel.
 func (e *Engine) parallelOK() bool {
-	return e.cfg.ParallelChannels && addr.Channels > 1
+	return e.cfg.ParallelChannels && len(e.units) > 1
 }
 
 // parcelQueueDepth bounds each channel's queue of in-flight chunks. With
@@ -105,9 +106,10 @@ func (e *Engine) runParallelStream(ctx context.Context, s trace.Stream, warmAt i
 		err    error
 		global int64
 	}
+	numUnits := len(e.units)
 	var (
-		queues  [addr.Channels]chan parcel
-		errs    [addr.Channels]chanErr // each worker writes only its slot
+		queues  = make([]chan parcel, numUnits)
+		errs    = make([]chanErr, numUnits) // each worker writes only its slot
 		workers sync.WaitGroup
 		abort   = make(chan struct{}) // closed once, on the first worker failure
 		trip    sync.Once
@@ -118,18 +120,18 @@ func (e *Engine) runParallelStream(ctx context.Context, s trace.Stream, warmAt i
 			idx:  make([]int64, 0, trace.ChunkSize),
 		}
 	}}
-	for ch := 0; ch < addr.Channels; ch++ {
-		queues[ch] = make(chan parcel, parcelQueueDepth)
+	for u := 0; u < numUnits; u++ {
+		queues[u] = make(chan parcel, parcelQueueDepth)
 		workers.Add(1)
-		go func(ch int) {
+		go func(u int) {
 			defer workers.Done()
-			cs := e.channels[ch]
+			cs := e.units[u]
 			failed := false
 			// The loop always runs to queue close: after a failure the
 			// worker keeps draining chunks (discarding them) and keeps
 			// honouring barriers, so the splitter never blocks pushing
 			// into this queue and quiesce never deadlocks.
-			for p := range queues[ch] {
+			for p := range queues[u] {
 				if p.barrier != nil {
 					p.barrier.arrived.Done()
 					<-p.barrier.resume
@@ -137,7 +139,7 @@ func (e *Engine) runParallelStream(ctx context.Context, s trace.Stream, warmAt i
 				}
 				if !failed {
 					if at, err := cs.stepAll(p.buf); err != nil {
-						errs[ch] = chanErr{err: err, global: at}
+						errs[u] = chanErr{err: err, global: at}
 						failed = true
 						trip.Do(func() { close(abort) })
 					} else if c := e.cfg.Counters; c != nil {
@@ -150,19 +152,19 @@ func (e *Engine) runParallelStream(ctx context.Context, s trace.Stream, warmAt i
 				p.buf.idx = p.buf.idx[:0]
 				pool.Put(p.buf)
 			}
-		}(ch)
+		}(u)
 	}
 
-	var bufs [addr.Channels]*parcelBuf
-	for ch := range bufs {
-		bufs[ch] = pool.Get().(*parcelBuf)
+	bufs := make([]*parcelBuf, numUnits)
+	for u := range bufs {
+		bufs[u] = pool.Get().(*parcelBuf)
 	}
-	flush := func(ch int) {
-		if len(bufs[ch].recs) == 0 {
+	flush := func(u int) {
+		if len(bufs[u].recs) == 0 {
 			return
 		}
-		queues[ch] <- parcel{buf: bufs[ch]}
-		bufs[ch] = pool.Get().(*parcelBuf)
+		queues[u] <- parcel{buf: bufs[u]}
+		bufs[u] = pool.Get().(*parcelBuf)
 	}
 	// quiesce flushes every channel and parks all workers at a barrier;
 	// the returned function releases them. Between the two calls the
@@ -171,10 +173,10 @@ func (e *Engine) runParallelStream(ctx context.Context, s trace.Stream, warmAt i
 	// snapshot before every later step.
 	quiesce := func() func() {
 		b := &streamBarrier{resume: make(chan struct{})}
-		b.arrived.Add(addr.Channels)
-		for ch := 0; ch < addr.Channels; ch++ {
-			flush(ch)
-			queues[ch] <- parcel{barrier: b}
+		b.arrived.Add(numUnits)
+		for u := 0; u < numUnits; u++ {
+			flush(u)
+			queues[u] <- parcel{barrier: b}
 		}
 		b.arrived.Wait()
 		return func() { close(b.resume) }
@@ -217,12 +219,12 @@ splitting:
 				}
 				resume()
 			}
-			ch := rec.Block().Channel()
-			b := bufs[ch]
+			u := unitIndex(rec.Block(), e.shards)
+			b := bufs[u]
 			b.recs = append(b.recs, rec)
 			b.idx = append(b.idx, global)
 			if len(b.recs) == trace.ChunkSize {
-				flush(ch)
+				flush(u)
 			}
 			global++
 			if sampling {
@@ -253,9 +255,9 @@ splitting:
 	// and a fault at an earlier global position that was still buffered
 	// for a healthy channel is discovered this way, keeping attribution at
 	// the earliest failing record.
-	for ch := 0; ch < addr.Channels; ch++ {
-		flush(ch)
-		close(queues[ch])
+	for u := 0; u < numUnits; u++ {
+		flush(u)
+		close(queues[u])
 	}
 	workers.Wait()
 	if sampling {

@@ -1,0 +1,138 @@
+package trace
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+
+	"repro/internal/addr"
+)
+
+// MappedTrace is a binary trace file opened for memory-mapped replay: the
+// whole file is mapped read-only and records decode straight out of the
+// mapping, so replay touches no read buffers, performs no read syscalls
+// after open, and shares the page cache across concurrent runs of the same
+// trace. On platforms without mmap support (or when mapping fails — e.g. on
+// a filesystem that cannot back a shared mapping) OpenMapped degrades to the
+// ordinary buffered Reader transparently; Mapped reports which path is live.
+type MappedTrace struct {
+	f    *os.File
+	data []byte // the mapped file; nil in fallback mode
+	n    int    // record count
+}
+
+// OpenMapped opens a binary trace file for memory-mapped streaming. The
+// file must be a regular binary trace (header plus whole records; see
+// RecordCount) — unlike the buffered Reader, the mapped reader knows the
+// file size up front and rejects a truncated file at open rather than
+// mid-replay. Close the returned trace when done; its streams must not be
+// used afterwards.
+func OpenMapped(path string) (*MappedTrace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	n := RecordCount(fi.Size())
+	if n < 0 {
+		f.Close()
+		return nil, fmt.Errorf("trace: %s: size %d is not a whole trace header plus records", path, fi.Size())
+	}
+	m := &MappedTrace{f: f, n: n}
+	if data, err := mapFile(f, int(fi.Size())); err == nil {
+		if [4]byte{data[0], data[1], data[2], data[3]} != magic {
+			unmapFile(data)
+			f.Close()
+			return nil, ErrBadMagic
+		}
+		if v := data[4]; v != binVersion {
+			unmapFile(data)
+			f.Close()
+			return nil, fmt.Errorf("trace: unsupported version %d", v)
+		}
+		m.data = data
+	}
+	// mapFile failure is not fatal: m.data stays nil and Stream serves the
+	// file through the buffered Reader instead.
+	return m, nil
+}
+
+// Mapped reports whether the file is actually memory-mapped (false when the
+// platform fallback is serving reads through the buffered Reader).
+func (m *MappedTrace) Mapped() bool { return m.data != nil }
+
+// Len returns the number of records in the file.
+func (m *MappedTrace) Len() int { return m.n }
+
+// Close unmaps the file and closes it. Streams taken from m must not be
+// used after Close.
+func (m *MappedTrace) Close() error {
+	if m.data != nil {
+		unmapFile(m.data)
+		m.data = nil
+	}
+	return m.f.Close()
+}
+
+// Stream returns a sized record stream over the file. Each call returns an
+// independent cursor positioned at the first record (fallback mode seeks
+// the shared file handle, so take only one stream at a time there).
+func (m *MappedTrace) Stream() (Stream, error) {
+	if m.data != nil {
+		return &MappedStream{recs: m.data[headerBytes:], n: m.n}, nil
+	}
+	if _, err := m.f.Seek(0, 0); err != nil {
+		return nil, err
+	}
+	return NewReader(m.f).Stream().WithLen(m.n), nil
+}
+
+// MappedStream decodes records directly from a mapped trace file: NextChunk
+// reads the mapping with no intermediate buffer, so a replay's only memory
+// traffic is the page-cache pages of the file itself.
+type MappedStream struct {
+	recs []byte // the record region of the mapping (header stripped)
+	pos  int    // records consumed
+	n    int    // total records
+}
+
+// decodeAt decodes record i of the mapping.
+func (s *MappedStream) decodeAt(i int) Record {
+	b := s.recs[i*recordBytes : i*recordBytes+recordBytes]
+	return Record{
+		Addr:   addr.Addr(binary.LittleEndian.Uint64(b[0:8])),
+		Cycle:  binary.LittleEndian.Uint64(b[8:16]),
+		Device: Device(b[16]),
+		Write:  b[17]&1 != 0,
+	}
+}
+
+// Next implements Stream.
+func (s *MappedStream) Next() (Record, bool) {
+	if s.pos >= s.n {
+		return Record{}, false
+	}
+	rec := s.decodeAt(s.pos)
+	s.pos++
+	return rec, true
+}
+
+// NextChunk implements Chunker.
+func (s *MappedStream) NextChunk(dst []Record) int {
+	k := 0
+	for ; k < len(dst) && s.pos < s.n; k++ {
+		dst[k] = s.decodeAt(s.pos)
+		s.pos++
+	}
+	return k
+}
+
+// Err implements Stream; a mapped stream cannot fail after open.
+func (s *MappedStream) Err() error { return nil }
+
+// Len implements Sized.
+func (s *MappedStream) Len() int { return s.n - s.pos }

@@ -1,0 +1,16 @@
+//go:build !unix
+
+package trace
+
+import (
+	"errors"
+	"os"
+)
+
+// errNoMmap makes OpenMapped fall back to the buffered Reader on platforms
+// without a usable mmap syscall.
+var errNoMmap = errors.New("trace: memory mapping not supported on this platform")
+
+func mapFile(*os.File, int) ([]byte, error) { return nil, errNoMmap }
+
+func unmapFile([]byte) {}

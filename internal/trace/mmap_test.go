@@ -1,0 +1,237 @@
+package trace
+
+import (
+	"bytes"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/addr"
+)
+
+// writeTempFile writes raw bytes to a file under the test's temp dir.
+func writeTempFile(t *testing.T, raw []byte) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "trace.bin")
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// writeTempTrace encodes tr and writes it under the test's temp dir.
+func writeTempTrace(t *testing.T, tr Trace) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WriteAll(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	return writeTempFile(t, buf.Bytes())
+}
+
+func randomTrace(n int, seed int64) Trace {
+	rng := rand.New(rand.NewSource(seed))
+	tr := make(Trace, n)
+	cycle := uint64(0)
+	for i := range tr {
+		cycle += uint64(rng.Intn(50))
+		tr[i] = Record{
+			Addr:   addr.Addr(rng.Uint64() &^ uint64(addr.BlockBytes-1)),
+			Cycle:  cycle,
+			Device: Device(rng.Intn(int(numDevices))),
+			Write:  rng.Intn(4) == 0,
+		}
+	}
+	return tr
+}
+
+func TestOpenMappedRoundTrip(t *testing.T) {
+	want := randomTrace(3000, 7)
+	m, err := OpenMapped(writeTempTrace(t, want))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	if m.Len() != len(want) {
+		t.Fatalf("Len = %d, want %d", m.Len(), len(want))
+	}
+	// Both replay paths — record-at-a-time and chunked — must reproduce
+	// the trace exactly, and a second Stream must start from the top.
+	for pass := 0; pass < 2; pass++ {
+		s, err := m.Stream()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := StreamLen(s); got != len(want) {
+			t.Fatalf("pass %d: StreamLen = %d, want %d", pass, got, len(want))
+		}
+		var got Trace
+		if pass == 0 {
+			for {
+				rec, ok := s.Next()
+				if !ok {
+					break
+				}
+				got = append(got, rec)
+			}
+		} else {
+			buf := make([]Record, 100) // deliberately not a divisor-friendly size
+			for {
+				n := ReadChunk(s, buf)
+				if n == 0 {
+					break
+				}
+				got = append(got, buf[:n]...)
+			}
+		}
+		if err := s.Err(); err != nil {
+			t.Fatalf("pass %d: stream error: %v", pass, err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("pass %d: %d records, want %d", pass, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("pass %d: record %d = %+v, want %+v", pass, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestOpenMappedEmptyTrace(t *testing.T) {
+	m, err := OpenMapped(writeTempTrace(t, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	if m.Len() != 0 {
+		t.Fatalf("Len = %d, want 0", m.Len())
+	}
+	s, err := m.Stream()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Next(); ok {
+		t.Fatal("record from an empty trace")
+	}
+}
+
+func TestOpenMappedRejectsCorruptFiles(t *testing.T) {
+	var good bytes.Buffer
+	if err := WriteAll(&good, randomTrace(3, 1)); err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string][]byte{
+		"empty":       {},
+		"short":       good.Bytes()[:headerBytes-2],
+		"mid-record":  good.Bytes()[:headerBytes+recordBytes+5],
+		"bad magic":   append([]byte("XXXX"), good.Bytes()[4:]...),
+		"bad version": append([]byte("PLTR\x63\x00\x00\x00"), good.Bytes()[headerBytes:]...),
+	}
+	for name, raw := range cases {
+		if m, err := OpenMapped(writeTempFile(t, raw)); err == nil {
+			m.Close()
+			t.Errorf("%s: accepted", name)
+		}
+	}
+	if _, err := OpenMapped(filepath.Join(t.TempDir(), "missing.bin")); err == nil {
+		t.Error("missing file: accepted")
+	}
+}
+
+// TestMappedMatchesReader pins decode parity between the mapped stream and
+// the copying Reader on the same bytes.
+func TestMappedMatchesReader(t *testing.T) {
+	tr := randomTrace(500, 42)
+	var buf bytes.Buffer
+	if err := WriteAll(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	viaReader, err := ReadAllFrom(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := OpenMapped(writeTempFile(t, buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	s, err := m.Stream()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range viaReader {
+		rec, ok := s.Next()
+		if !ok {
+			t.Fatalf("mapped stream ended at %d of %d", i, len(viaReader))
+		}
+		if rec != viaReader[i] {
+			t.Fatalf("record %d: mapped %+v, reader %+v", i, rec, viaReader[i])
+		}
+	}
+	if _, ok := s.Next(); ok {
+		t.Fatal("mapped stream is longer than the reader's")
+	}
+}
+
+// FuzzMappedParity feeds arbitrary bytes to both decoders through a file:
+// whenever OpenMapped accepts the file, its records must equal what the
+// copying Reader decodes from the same bytes; whenever it rejects, the
+// buffered path must not decode the whole input cleanly either (OpenMapped
+// only pre-checks what the Reader would fault on mid-stream).
+func FuzzMappedParity(f *testing.F) {
+	var good bytes.Buffer
+	_ = WriteAll(&good, Trace{
+		{Addr: 0x1000, Cycle: 5, Device: GPU},
+		{Addr: 0x2040, Cycle: 9, Device: CPU3, Write: true},
+	})
+	f.Add(good.Bytes())
+	f.Add(good.Bytes()[:headerBytes])
+	f.Add(good.Bytes()[:headerBytes+recordBytes-3])
+	f.Add([]byte("PLTR\xff\x00\x00\x00"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, in []byte) {
+		dir := t.TempDir()
+		path := filepath.Join(dir, "fuzz.bin")
+		if err := os.WriteFile(path, in, 0o644); err != nil {
+			t.Skip() // filesystem hiccup, not a decoder property
+		}
+		viaReader, readerErr := ReadAllFrom(bytes.NewReader(in))
+		m, err := OpenMapped(path)
+		if err != nil {
+			if readerErr == nil && len(in) >= headerBytes {
+				t.Fatalf("OpenMapped rejected (%v) what the reader decodes cleanly", err)
+			}
+			return
+		}
+		defer m.Close()
+		if readerErr != nil {
+			t.Fatalf("OpenMapped accepted what the reader rejects: %v", readerErr)
+		}
+		s, err := m.Stream()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got Trace
+		buf := make([]Record, 7)
+		for {
+			n := ReadChunk(s, buf)
+			if n == 0 {
+				break
+			}
+			got = append(got, buf[:n]...)
+		}
+		if s.Err() != nil {
+			t.Fatalf("mapped stream failed on accepted file: %v", s.Err())
+		}
+		if len(got) != len(viaReader) {
+			t.Fatalf("mapped %d records, reader %d", len(got), len(viaReader))
+		}
+		for i := range got {
+			if got[i] != viaReader[i] {
+				t.Fatalf("record %d: mapped %+v, reader %+v", i, got[i], viaReader[i])
+			}
+		}
+	})
+}

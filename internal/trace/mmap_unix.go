@@ -1,0 +1,23 @@
+//go:build unix
+
+package trace
+
+import (
+	"os"
+	"syscall"
+)
+
+// mapFile maps size bytes of f read-only and shared (the kernel page cache
+// backs the mapping, so concurrent replays of one trace share physical
+// memory).
+func mapFile(f *os.File, size int) ([]byte, error) {
+	return syscall.Mmap(int(f.Fd()), 0, size, syscall.PROT_READ, syscall.MAP_SHARED)
+}
+
+// unmapFile releases a mapping from mapFile.
+func unmapFile(data []byte) {
+	// The only Munmap failure modes are programming errors (a bad slice);
+	// the mapping came from mapFile, so ignore the impossible error rather
+	// than complicating every Close path.
+	_ = syscall.Munmap(data)
+}
