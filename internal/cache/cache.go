@@ -9,10 +9,21 @@
 // evicted by prefetches). Three replacement policies are provided, both to
 // serve the simulator and to back the paper's claim that replacement policy
 // alone does not rescue SC performance.
+//
+// The storage layout is struct-of-arrays rather than a slice of line
+// structs: the tag of every way lives in one contiguous packed lane
+// ([]uint64) scanned by a branch-light unrolled loop, the valid/dirty/
+// prefetched flags are per-set 64-bit way masks, and the cold per-line
+// fields (replacement state, prefetch origin) sit in parallel arrays that
+// are touched only on a hit or a fill. A demand access therefore reads
+// exactly ways×8 bytes of tag lane plus one mask word — the whole probe for
+// a 16-way set is two cache lines — instead of walking 40-byte line structs.
+// See docs/PERFORMANCE.md, "Hot path anatomy".
 package cache
 
 import (
 	"fmt"
+	"math/bits"
 	"math/rand"
 
 	"repro/internal/addr"
@@ -84,6 +95,10 @@ func (c Config) Validate() error {
 	if c.SizeBytes <= 0 || c.Ways <= 0 {
 		return fmt.Errorf("cache: non-positive size or ways: %+v", c)
 	}
+	if c.Ways > 64 {
+		// The valid/dirty/prefetched flags are per-set 64-bit way masks.
+		return fmt.Errorf("cache: associativity %d exceeds the 64-way mask limit", c.Ways)
+	}
 	blocks := c.SizeBytes / addr.BlockBytes
 	if blocks == 0 || blocks%c.Ways != 0 {
 		return fmt.Errorf("cache: %d blocks not divisible by %d ways", blocks, c.Ways)
@@ -96,20 +111,6 @@ func (c Config) Validate() error {
 }
 
 const maxRRPV = 3 // 2-bit SRRIP
-
-type line struct {
-	tag        uint64
-	valid      bool
-	dirty      bool
-	prefetched bool // filled by a prefetch and not yet demanded
-	stamp      uint64
-	rrpv       uint8
-	// origin is an opaque caller-assigned tag for prefetched lines (the
-	// simulator interns sub-prefetcher names to these ids); 0 means
-	// untagged. It rides in the line so the caller needs no side table
-	// keyed by block number.
-	origin uint8
-}
 
 // Stats accumulates cache events. All counters are monotonically increasing.
 type Stats struct {
@@ -143,13 +144,33 @@ func (s Stats) Accuracy() float64 {
 
 // Cache is a single set-associative cache slice. It is not safe for
 // concurrent use; the simulator drives each channel slice from one goroutine.
+//
+// State is held struct-of-arrays. Set s owns ways [s*ways, (s+1)*ways) of
+// every per-line lane; the flag lanes hold one 64-bit way mask per set.
 type Cache struct {
-	cfg     Config
-	sets    [][]line
-	setMask uint64
-	clock   uint64
-	rng     *rand.Rand
-	stats   Stats
+	cfg      Config
+	ways     int
+	nsets    int
+	setMask  uint64
+	tagShift uint // log2(set count), precomputed: tag = block >> tagShift
+	clock    uint64
+	rng      *rand.Rand
+	stats    Stats
+
+	// Hot lane: the packed tags of every way, plus the per-set validity
+	// masks the scan filters against. These are the only words a miss
+	// (the common probe outcome under cache-hostile traffic) ever reads.
+	tags  []uint64 // len nsets*ways
+	valid []uint64 // len nsets; bit w = way w holds a valid line
+
+	// Warm flag lanes: touched on hits, fills and evictions only.
+	dirty []uint64 // len nsets; bit w = way w is dirty
+	pref  []uint64 // len nsets; bit w = way w is an un-demanded prefetch
+
+	// Cold lanes, parallel to tags: replacement state and prefetch origin.
+	stamp  []uint64 // LRU recency stamps
+	rrpv   []uint8  // SRRIP/DRRIP re-reference predictions
+	origin []uint8  // opaque caller origin tag of prefetched lines (0 = untagged)
 
 	// DRRIP set-dueling state: psel > 0 favours bimodal insertion,
 	// ≤ 0 favours SRRIP insertion; brip counts fills for the 1-in-32
@@ -167,15 +188,25 @@ func New(cfg Config) *Cache {
 	blocks := cfg.SizeBytes / addr.BlockBytes
 	nsets := blocks / cfg.Ways
 	c := &Cache{
-		cfg:     cfg,
-		sets:    make([][]line, nsets),
-		setMask: uint64(nsets - 1),
-		rng:     rand.New(rand.NewSource(cfg.Seed + 1)),
+		cfg:      cfg,
+		ways:     cfg.Ways,
+		nsets:    nsets,
+		setMask:  uint64(nsets - 1),
+		tagShift: uint(bits.TrailingZeros64(uint64(nsets))),
+		rng:      rand.New(rand.NewSource(cfg.Seed + 1)),
 	}
-	store := make([]line, blocks)
-	for i := range c.sets {
-		c.sets[i], store = store[:cfg.Ways], store[cfg.Ways:]
-	}
+	// Two backing allocations for the whole cache: one uint64 arena for
+	// the tag lane, stamps and the three mask lanes, one uint8 arena for
+	// the byte lanes. Keeps construction cost flat (the engine builds
+	// 4 × SubShards caches per run) and the hot lanes contiguous.
+	u64 := make([]uint64, 2*blocks+3*nsets)
+	c.tags, u64 = u64[:blocks:blocks], u64[blocks:]
+	c.stamp, u64 = u64[:blocks:blocks], u64[blocks:]
+	c.valid, u64 = u64[:nsets:nsets], u64[nsets:]
+	c.dirty, u64 = u64[:nsets:nsets], u64[nsets:]
+	c.pref = u64[:nsets:nsets]
+	u8 := make([]uint8, 2*blocks)
+	c.rrpv, c.origin = u8[:blocks:blocks], u8[blocks:]
 	return c
 }
 
@@ -183,7 +214,7 @@ func New(cfg Config) *Cache {
 func (c *Cache) Config() Config { return c.cfg }
 
 // Sets returns the number of sets.
-func (c *Cache) Sets() int { return len(c.sets) }
+func (c *Cache) Sets() int { return c.nsets }
 
 // Stats returns a snapshot of the accumulated statistics.
 func (c *Cache) Stats() Stats { return c.stats }
@@ -192,9 +223,46 @@ func (c *Cache) Stats() Stats { return c.stats }
 // (used to discard warmup).
 func (c *Cache) ResetStats() { c.stats = Stats{} }
 
-func (c *Cache) index(b addr.BlockNum) (set []line, tag uint64) {
-	idx := uint64(b) & c.setMask
-	return c.sets[idx], uint64(b) >> uint(log2(c.setMask+1))
+// index splits a block number into its set index and tag.
+func (c *Cache) index(b addr.BlockNum) (set uint64, tag uint64) {
+	return uint64(b) & c.setMask, uint64(b) >> c.tagShift
+}
+
+// findWay scans one set's slice of the packed tag lane for tag and returns
+// the matching valid way, or -1. The scan is branch-light: a 4-way unrolled
+// pass accumulates an equality mask over all ways (the per-way branches are
+// almost-always-not-taken, so they predict perfectly), the set's valid mask
+// filters stale tags of invalidated ways, and a single trailing-zeros pick
+// resolves the way index. At most one valid way can match (Fill refuses
+// duplicates), so lowest-bit pick equals the legacy first-match scan.
+func (c *Cache) findWay(base int, tag, vmask uint64) int {
+	tags := c.tags[base : base+c.ways : base+c.ways]
+	var m uint64
+	i := 0
+	for ; i+4 <= len(tags); i += 4 {
+		if tags[i] == tag {
+			m |= 1 << uint(i)
+		}
+		if tags[i+1] == tag {
+			m |= 2 << uint(i)
+		}
+		if tags[i+2] == tag {
+			m |= 4 << uint(i)
+		}
+		if tags[i+3] == tag {
+			m |= 8 << uint(i)
+		}
+	}
+	for ; i < len(tags); i++ {
+		if tags[i] == tag {
+			m |= 1 << uint(i)
+		}
+	}
+	m &= vmask
+	if m == 0 {
+		return -1
+	}
+	return bits.TrailingZeros64(m)
 }
 
 // duelKind classifies a set for DRRIP set dueling: 0 = SRRIP leader,
@@ -233,28 +301,27 @@ func (c *Cache) AccessOrigin(b addr.BlockNum, write bool) (hit, firstUse bool, o
 	c.clock++
 	c.stats.DemandAccesses++
 	set, tag := c.index(b)
-	for i := range set {
-		l := &set[i]
-		if l.valid && l.tag == tag {
-			c.stats.DemandHits++
-			if l.prefetched {
-				c.stats.UsefulPrefetches++
-				l.prefetched = false
-				firstUse = true
-				origin = l.origin
-				l.origin = 0
-			}
-			if write {
-				l.dirty = true
-			}
-			c.promote(l)
-			return true, firstUse, origin
+	base := int(set) * c.ways
+	if w := c.findWay(base, tag, c.valid[set]); w >= 0 {
+		c.stats.DemandHits++
+		bit := uint64(1) << uint(w)
+		if c.pref[set]&bit != 0 {
+			c.stats.UsefulPrefetches++
+			c.pref[set] &^= bit
+			firstUse = true
+			origin = c.origin[base+w]
+			c.origin[base+w] = 0
 		}
+		if write {
+			c.dirty[set] |= bit
+		}
+		c.promote(base + w)
+		return true, firstUse, origin
 	}
 	c.stats.DemandMisses++
 	if c.cfg.Policy == DRRIP {
 		// Set dueling: a miss in a leader set votes against its policy.
-		switch duelKind(uint64(b) & c.setMask) {
+		switch duelKind(set) {
 		case 0: // SRRIP leader missed → bimodal gains favour
 			if c.psel < 1024 {
 				c.psel++
@@ -272,12 +339,7 @@ func (c *Cache) AccessOrigin(b addr.BlockNum, write bool) (hit, firstUse bool, o
 // statistics. Prefetchers use it to filter already-resident targets.
 func (c *Cache) Contains(b addr.BlockNum) bool {
 	set, tag := c.index(b)
-	for i := range set {
-		if set[i].valid && set[i].tag == tag {
-			return true
-		}
-	}
-	return false
+	return c.findWay(int(set)*c.ways, tag, c.valid[set]) >= 0
 }
 
 // EvictInfo describes a victim line.
@@ -303,50 +365,61 @@ func (c *Cache) Fill(b addr.BlockNum, prefetch, write bool) EvictInfo {
 func (c *Cache) FillOrigin(b addr.BlockNum, prefetch, write bool, origin uint8) EvictInfo {
 	c.clock++
 	set, tag := c.index(b)
-	victim := -1
-	for i := range set {
-		l := &set[i]
-		if l.valid && l.tag == tag {
-			// Already present (e.g. prefetch landed after a demand
-			// fill). Just merge the dirty bit.
-			if write {
-				l.dirty = true
-			}
-			return EvictInfo{}
+	base := int(set) * c.ways
+	vmask := c.valid[set]
+	if w := c.findWay(base, tag, vmask); w >= 0 {
+		// Already present (e.g. prefetch landed after a demand fill).
+		// Just merge the dirty bit.
+		if write {
+			c.dirty[set] |= 1 << uint(w)
 		}
-		if !l.valid && victim == -1 {
-			victim = i
-		}
+		return EvictInfo{}
 	}
+	var victim int
 	var ev EvictInfo
-	if victim == -1 {
-		victim = c.victim(set)
-		v := &set[victim]
-		ev = EvictInfo{Valid: true, Block: c.reconstruct(b, v.tag), Dirty: v.dirty, Prefetched: v.prefetched, Origin: v.origin}
+	if free := ^vmask & (1<<uint(c.ways) - 1); free != 0 {
+		// An invalid way exists: lowest index first, as the legacy
+		// first-invalid scan chose.
+		victim = bits.TrailingZeros64(free)
+	} else {
+		victim = c.victim(set, base)
+		bit := uint64(1) << uint(victim)
+		vDirty := c.dirty[set]&bit != 0
+		vPref := c.pref[set]&bit != 0
+		ev = EvictInfo{Valid: true, Block: c.reconstruct(b, c.tags[base+victim]), Dirty: vDirty, Prefetched: vPref, Origin: c.origin[base+victim]}
 		c.stats.Evictions++
-		if v.dirty {
+		if vDirty {
 			c.stats.Writebacks++
 		}
-		if v.prefetched {
+		if vPref {
 			c.stats.WastedPrefetches++
 		} else if prefetch {
 			c.stats.PollutionEvicts++
 		}
 	}
-	l := &set[victim]
-	*l = line{tag: tag, valid: true, dirty: write, prefetched: prefetch}
-	l.stamp = c.clock // LRU treats fills uniformly
+	bit := uint64(1) << uint(victim)
+	c.tags[base+victim] = tag
+	c.valid[set] |= bit
+	if write {
+		c.dirty[set] |= bit
+	} else {
+		c.dirty[set] &^= bit
+	}
+	c.origin[base+victim] = 0
+	c.stamp[base+victim] = c.clock // LRU treats fills uniformly
 	switch {
 	case prefetch:
-		l.origin = origin
+		c.pref[set] |= bit
+		c.origin[base+victim] = origin
 		c.stats.PrefetchFills++
 		// RRIP-family policies insert prefetches with a distant
 		// re-reference prediction so inaccurate prefetchers pollute
 		// less.
-		l.rrpv = maxRRPV
+		c.rrpv[base+victim] = maxRRPV
 	default:
+		c.pref[set] &^= bit
 		c.stats.DemandFills++
-		l.rrpv = c.insertRRPV(uint64(b) & c.setMask)
+		c.rrpv[base+victim] = c.insertRRPV(set)
 	}
 	return ev
 }
@@ -379,65 +452,71 @@ func (c *Cache) insertRRPV(idx uint64) uint8 {
 // Invalidate drops block b if resident, returning whether it was dirty.
 func (c *Cache) Invalidate(b addr.BlockNum) (wasDirty bool) {
 	set, tag := c.index(b)
-	for i := range set {
-		l := &set[i]
-		if l.valid && l.tag == tag {
-			wasDirty = l.dirty
-			*l = line{}
-			return wasDirty
-		}
+	base := int(set) * c.ways
+	w := c.findWay(base, tag, c.valid[set])
+	if w < 0 {
+		return false
 	}
-	return false
+	bit := uint64(1) << uint(w)
+	wasDirty = c.dirty[set]&bit != 0
+	c.valid[set] &^= bit
+	c.dirty[set] &^= bit
+	c.pref[set] &^= bit
+	c.tags[base+w] = 0
+	c.stamp[base+w] = 0
+	c.rrpv[base+w] = 0
+	c.origin[base+w] = 0
+	return wasDirty
 }
 
 // reconstruct rebuilds the block number of a victim from its tag and the set
 // index of the incoming block (same set by construction).
 func (c *Cache) reconstruct(incoming addr.BlockNum, tag uint64) addr.BlockNum {
 	idx := uint64(incoming) & c.setMask
-	return addr.BlockNum(tag<<uint(log2(c.setMask+1)) | idx)
+	return addr.BlockNum(tag<<c.tagShift | idx)
 }
 
-func (c *Cache) promote(l *line) {
+// promote refreshes the replacement state of the line at lane index w
+// (set base + way) after a demand hit.
+func (c *Cache) promote(w int) {
 	switch c.cfg.Policy {
 	case LRU, Random:
-		l.stamp = c.clock
+		c.stamp[w] = c.clock
 	case SRRIP, DRRIP:
-		l.rrpv = 0
+		c.rrpv[w] = 0
 	}
 }
 
-func (c *Cache) victim(set []line) int {
+// victim picks the way to evict from a full set under the active policy.
+// Tie-breaks replicate the legacy AoS scans exactly: LRU takes the lowest
+// way among minimal stamps, SRRIP/DRRIP the lowest way at maxRRPV (ageing
+// every way until one reaches it), Random consumes the seeded RNG in the
+// same sequence.
+func (c *Cache) victim(set uint64, base int) int {
 	switch c.cfg.Policy {
 	case LRU:
+		stamps := c.stamp[base : base+c.ways : base+c.ways]
 		best := 0
-		for i := 1; i < len(set); i++ {
-			if set[i].stamp < set[best].stamp {
+		for i := 1; i < len(stamps); i++ {
+			if stamps[i] < stamps[best] {
 				best = i
 			}
 		}
 		return best
 	case SRRIP, DRRIP:
+		rr := c.rrpv[base : base+c.ways : base+c.ways]
 		for {
-			for i := range set {
-				if set[i].rrpv >= maxRRPV {
+			for i := range rr {
+				if rr[i] >= maxRRPV {
 					return i
 				}
 			}
-			for i := range set {
-				set[i].rrpv++
+			for i := range rr {
+				rr[i]++
 			}
 		}
 	case Random:
-		return c.rng.Intn(len(set))
+		return c.rng.Intn(c.ways)
 	}
 	return 0
-}
-
-func log2(v uint64) int {
-	n := 0
-	for v > 1 {
-		v >>= 1
-		n++
-	}
-	return n
 }

@@ -1,0 +1,344 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/addr"
+)
+
+// This file pins the struct-of-arrays Cache against refCache, a line-struct
+// (AoS) port of the pre-SoA implementation kept here as an executable
+// specification. The property test and the fuzz target drive both through
+// identical operation sequences and demand equality of every return value,
+// every statistics counter, the DRRIP duel state and the final residency map
+// — so the packed tag lane, the way bitmasks and the mask-based victim paths
+// cannot drift from the semantics the AoS scans defined.
+
+type refLine struct {
+	tag        uint64
+	valid      bool
+	dirty      bool
+	prefetched bool
+	stamp      uint64
+	rrpv       uint8
+	origin     uint8
+}
+
+type refCache struct {
+	cfg     Config
+	sets    [][]refLine
+	setMask uint64
+	clock   uint64
+	rng     *rand.Rand
+	stats   Stats
+	psel    int
+	brip    int
+}
+
+func newRef(cfg Config) *refCache {
+	blocks := cfg.SizeBytes / addr.BlockBytes
+	nsets := blocks / cfg.Ways
+	r := &refCache{
+		cfg:     cfg,
+		sets:    make([][]refLine, nsets),
+		setMask: uint64(nsets - 1),
+		rng:     rand.New(rand.NewSource(cfg.Seed + 1)),
+	}
+	store := make([]refLine, blocks)
+	for i := range r.sets {
+		r.sets[i], store = store[:cfg.Ways], store[cfg.Ways:]
+	}
+	return r
+}
+
+func refLog2(v uint64) int {
+	n := 0
+	for v > 1 {
+		v >>= 1
+		n++
+	}
+	return n
+}
+
+func (c *refCache) index(b addr.BlockNum) (set []refLine, tag uint64) {
+	idx := uint64(b) & c.setMask
+	return c.sets[idx], uint64(b) >> uint(refLog2(c.setMask+1))
+}
+
+func (c *refCache) accessOrigin(b addr.BlockNum, write bool) (hit, firstUse bool, origin uint8) {
+	c.clock++
+	c.stats.DemandAccesses++
+	set, tag := c.index(b)
+	for i := range set {
+		l := &set[i]
+		if l.valid && l.tag == tag {
+			c.stats.DemandHits++
+			if l.prefetched {
+				c.stats.UsefulPrefetches++
+				l.prefetched = false
+				firstUse = true
+				origin = l.origin
+				l.origin = 0
+			}
+			if write {
+				l.dirty = true
+			}
+			c.promote(l)
+			return true, firstUse, origin
+		}
+	}
+	c.stats.DemandMisses++
+	if c.cfg.Policy == DRRIP {
+		switch duelKind(uint64(b) & c.setMask) {
+		case 0:
+			if c.psel < 1024 {
+				c.psel++
+			}
+		case 1:
+			if c.psel > -1024 {
+				c.psel--
+			}
+		}
+	}
+	return false, false, 0
+}
+
+func (c *refCache) contains(b addr.BlockNum) bool {
+	set, tag := c.index(b)
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			return true
+		}
+	}
+	return false
+}
+
+func (c *refCache) fillOrigin(b addr.BlockNum, prefetch, write bool, origin uint8) EvictInfo {
+	c.clock++
+	set, tag := c.index(b)
+	victim := -1
+	for i := range set {
+		l := &set[i]
+		if l.valid && l.tag == tag {
+			if write {
+				l.dirty = true
+			}
+			return EvictInfo{}
+		}
+		if !l.valid && victim == -1 {
+			victim = i
+		}
+	}
+	var ev EvictInfo
+	if victim == -1 {
+		victim = c.victim(set)
+		v := &set[victim]
+		ev = EvictInfo{Valid: true, Block: c.reconstruct(b, v.tag), Dirty: v.dirty, Prefetched: v.prefetched, Origin: v.origin}
+		c.stats.Evictions++
+		if v.dirty {
+			c.stats.Writebacks++
+		}
+		if v.prefetched {
+			c.stats.WastedPrefetches++
+		} else if prefetch {
+			c.stats.PollutionEvicts++
+		}
+	}
+	l := &set[victim]
+	*l = refLine{tag: tag, valid: true, dirty: write, prefetched: prefetch}
+	l.stamp = c.clock
+	switch {
+	case prefetch:
+		l.origin = origin
+		c.stats.PrefetchFills++
+		l.rrpv = maxRRPV
+	default:
+		c.stats.DemandFills++
+		l.rrpv = c.insertRRPV(uint64(b) & c.setMask)
+	}
+	return ev
+}
+
+func (c *refCache) insertRRPV(idx uint64) uint8 {
+	if c.cfg.Policy != DRRIP {
+		return maxRRPV - 1
+	}
+	bimodal := false
+	switch duelKind(idx) {
+	case 0:
+		bimodal = false
+	case 1:
+		bimodal = true
+	default:
+		bimodal = c.psel > 0
+	}
+	if !bimodal {
+		return maxRRPV - 1
+	}
+	c.brip++
+	if c.brip%32 == 0 {
+		return maxRRPV - 1
+	}
+	return maxRRPV
+}
+
+func (c *refCache) invalidate(b addr.BlockNum) (wasDirty bool) {
+	set, tag := c.index(b)
+	for i := range set {
+		l := &set[i]
+		if l.valid && l.tag == tag {
+			wasDirty = l.dirty
+			*l = refLine{}
+			return wasDirty
+		}
+	}
+	return false
+}
+
+func (c *refCache) reconstruct(incoming addr.BlockNum, tag uint64) addr.BlockNum {
+	idx := uint64(incoming) & c.setMask
+	return addr.BlockNum(tag<<uint(refLog2(c.setMask+1)) | idx)
+}
+
+func (c *refCache) promote(l *refLine) {
+	switch c.cfg.Policy {
+	case LRU, Random:
+		l.stamp = c.clock
+	case SRRIP, DRRIP:
+		l.rrpv = 0
+	}
+}
+
+func (c *refCache) victim(set []refLine) int {
+	switch c.cfg.Policy {
+	case LRU:
+		best := 0
+		for i := 1; i < len(set); i++ {
+			if set[i].stamp < set[best].stamp {
+				best = i
+			}
+		}
+		return best
+	case SRRIP, DRRIP:
+		for {
+			for i := range set {
+				if set[i].rrpv >= maxRRPV {
+					return i
+				}
+			}
+			for i := range set {
+				set[i].rrpv++
+			}
+		}
+	case Random:
+		return c.rng.Intn(len(set))
+	}
+	return 0
+}
+
+// runEquivOps drives a SoA Cache and the AoS reference through the operation
+// stream encoded in ops (3 bytes per op: kind+flags, block lo, block hi) and
+// fails on the first divergence of any return value or counter. The block
+// domain is 4× capacity so fills evict constantly.
+func runEquivOps(t testing.TB, cfg Config, ops []byte) {
+	c := New(cfg)
+	r := newRef(cfg)
+	domain := uint64(cfg.SizeBytes/addr.BlockBytes) * 4
+	for n := 0; n+3 <= len(ops); n += 3 {
+		k := ops[n]
+		b := addr.BlockNum((uint64(ops[n+1]) | uint64(ops[n+2])<<8) % domain)
+		write := k&4 != 0
+		prefetch := k&8 != 0
+		origin := k >> 4
+		switch k % 4 {
+		case 0:
+			gh, gf, go_ := c.AccessOrigin(b, write)
+			wh, wf, wo := r.accessOrigin(b, write)
+			if gh != wh || gf != wf || go_ != wo {
+				t.Fatalf("op %d: AccessOrigin(%d, %v) = (%v,%v,%d), reference (%v,%v,%d)", n/3, b, write, gh, gf, go_, wh, wf, wo)
+			}
+		case 1:
+			if got, want := c.Contains(b), r.contains(b); got != want {
+				t.Fatalf("op %d: Contains(%d) = %v, reference %v", n/3, b, got, want)
+			}
+		case 2:
+			if got, want := c.FillOrigin(b, prefetch, write, origin), r.fillOrigin(b, prefetch, write, origin); got != want {
+				t.Fatalf("op %d: FillOrigin(%d, %v, %v, %d) = %+v, reference %+v", n/3, b, prefetch, write, origin, got, want)
+			}
+		case 3:
+			if got, want := c.Invalidate(b), r.invalidate(b); got != want {
+				t.Fatalf("op %d: Invalidate(%d) = %v, reference %v", n/3, b, got, want)
+			}
+		}
+		if c.Stats() != r.stats {
+			t.Fatalf("op %d (kind %d, block %d): stats diverged:\nSoA %+v\nref %+v", n/3, k%4, b, c.Stats(), r.stats)
+		}
+		if c.psel != r.psel || c.brip != r.brip {
+			t.Fatalf("op %d: duel state diverged: psel %d/%d brip %d/%d", n/3, c.psel, r.psel, c.brip, r.brip)
+		}
+	}
+	// Final residency sweep: every block in the domain agrees.
+	for b := uint64(0); b < domain; b++ {
+		if got, want := c.Contains(addr.BlockNum(b)), r.contains(addr.BlockNum(b)); got != want {
+			t.Fatalf("final residency of block %d: SoA %v, reference %v", b, got, want)
+		}
+	}
+}
+
+// equivConfigs covers the unrolled scan exactly (4-way), the tail loop
+// (6-way), and the production shape (16-way, fewer sets than default so
+// evictions still happen).
+func equivConfigs(p Policy) []Config {
+	return []Config{
+		{SizeBytes: 64 * addr.BlockBytes, Ways: 4, Policy: p, Seed: 11},
+		{SizeBytes: 48 * addr.BlockBytes, Ways: 6, Policy: p, Seed: 11},
+		{SizeBytes: 256 * addr.BlockBytes, Ways: 16, Policy: p, Seed: 11},
+	}
+}
+
+// TestSoAMatchesReference is the property test: long seeded-random operation
+// sequences over every policy and three set shapes.
+func TestSoAMatchesReference(t *testing.T) {
+	for _, p := range Policies() {
+		for _, cfg := range equivConfigs(p) {
+			t.Run(p.String()+"/"+itoa(cfg.Ways)+"way", func(t *testing.T) {
+				rng := rand.New(rand.NewSource(int64(cfg.Ways)*1000 + int64(p)))
+				ops := make([]byte, 3*20_000)
+				rng.Read(ops)
+				runEquivOps(t, cfg, ops)
+			})
+		}
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [8]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}
+
+// FuzzSoAEquivalence lets the fuzzer hunt for operation sequences that split
+// the SoA cache from the AoS reference. Run with
+//
+//	go test -fuzz=FuzzSoAEquivalence ./internal/cache/
+func FuzzSoAEquivalence(f *testing.F) {
+	f.Add(uint8(0), []byte{0, 1, 2, 2, 3, 4, 8, 5, 6})
+	f.Add(uint8(2), []byte{2, 0, 0, 2, 0, 1, 0, 0, 0, 3, 0, 0})
+	f.Add(uint8(3), []byte{10, 7, 7, 14, 7, 7, 0, 7, 7})
+	f.Fuzz(func(t *testing.T, policy uint8, ops []byte) {
+		if len(ops) > 3*4096 {
+			ops = ops[:3*4096]
+		}
+		cfg := Config{SizeBytes: 48 * addr.BlockBytes, Ways: 6, Policy: Policy(policy % 4), Seed: 7}
+		runEquivOps(t, cfg, ops)
+	})
+}

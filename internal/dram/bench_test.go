@@ -25,6 +25,40 @@ func BenchmarkControllerRandom(b *testing.B) {
 	c.Flush()
 }
 
+// BenchmarkControllerServiceOne measures the steady-state service path —
+// FR-FCFS window scan over cached coordinates plus the analytic command
+// schedule — under mixed traffic (3:1 row-local:random, a third prefetch
+// priority) that exercises every scoring branch. Requests come from the
+// controller's freelist, so the loop must stay allocation-free once the
+// ring and freelist are warm (pinned at 0 allocs/op in BENCH_baseline.json).
+func BenchmarkControllerServiceOne(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	c := NewController(DefaultConfig())
+	blocks := make([]addr.BlockNum, 4096)
+	for i := range blocks {
+		if i%4 == 0 {
+			blocks[i] = addr.PageNum(rng.Intn(1 << 14)).Block(rng.Intn(16))
+		} else {
+			blocks[i] = addr.PageNum(i / 16).Block(i % 16)
+		}
+	}
+	clock := uint64(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		clock += 8
+		r := c.NewRequest()
+		r.Block = blocks[i&4095]
+		r.Arrival = clock
+		r.Prefetch = i%3 == 0
+		if err := c.Enqueue(r); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	c.Flush()
+}
+
 // BenchmarkControllerRowLocal measures the row-hit fast path (batched
 // same-page traffic, Planaria's signature pattern).
 func BenchmarkControllerRowLocal(b *testing.B) {

@@ -21,6 +21,12 @@ type Request struct {
 	Done     uint64 // data burst completion time
 	RowHit   bool   // serviced from an open row
 	Serviced bool
+
+	// Cached DRAM coordinate, resolved once at Enqueue so neither the
+	// FR-FCFS window scan nor execute re-derives Geometry.Map per visit
+	// (a queued request used to be re-mapped on every serviceOne pass).
+	bank int
+	row  uint64
 }
 
 // Latency returns the request's total service latency including queueing.
@@ -107,12 +113,35 @@ func DefaultConfig() Config {
 }
 
 type bankState struct {
-	hasRow      bool
-	acted       bool // bank has been activated at least once
-	openRow     uint64
+	acted       bool   // bank has been activated at least once
 	lastActAt   uint64 // issue time of last ACT
 	earliestPre uint64 // earliest time a PRE may issue
 	earliestCAS uint64 // earliest time a RD/WR may issue
+}
+
+// timingU holds every Timing-derived quantity the scheduling arithmetic
+// needs, widened to uint64 once at construction. The legacy code converted
+// (and re-derived BurstCycles) inline at each of the dozen use sites in
+// execute — per serviced request; these are now single field loads.
+type timingU struct {
+	ras, rcd, rrd, rc, rp uint64
+	ccd, rtp, wtr, wr     uint64
+	rtrs, rfc, faw        uint64
+	cke, xp               uint64
+	cl, cwl, refi         uint64
+	burst                 uint64 // BurstCycles(): BL/2
+}
+
+func makeTimingU(t Timing) timingU {
+	return timingU{
+		ras: uint64(t.TRAS), rcd: uint64(t.TRCD), rrd: uint64(t.TRRD),
+		rc: uint64(t.TRC), rp: uint64(t.TRP), ccd: uint64(t.TCCD),
+		rtp: uint64(t.TRTP), wtr: uint64(t.TWTR), wr: uint64(t.TWR),
+		rtrs: uint64(t.TRTRS), rfc: uint64(t.TRFC), faw: uint64(t.TFAW),
+		cke: uint64(t.TCKE), xp: uint64(t.TXP),
+		cl: uint64(t.CL), cwl: uint64(t.CWL), refi: uint64(t.TREFI),
+		burst: uint64(t.BurstCycles()),
+	}
 }
 
 // Controller services one DRAM channel. Requests must be enqueued in
@@ -120,7 +149,16 @@ type bankState struct {
 // window fills, and Flush drains the remainder. Not safe for concurrent use.
 type Controller struct {
 	cfg   Config
+	tm    timingU // precomputed Timing constants (see timingU)
 	banks []bankState
+
+	// Per-bank open-row snapshot, packed for the FR-FCFS window scan: bit
+	// b of hasRowBits says bank b has an open row, openRows[b] says which.
+	// This pair is the single source of row state (bankState carries only
+	// the per-bank timestamps), so the scan touches one mask word and one
+	// row word per candidate instead of a 5-field struct.
+	hasRowBits uint64
+	openRows   []uint64
 
 	// actRing holds the last four ACT issue times for the tRRD/tFAW
 	// constraints in a fixed ring (actCount grows monotonically; slot
@@ -137,7 +175,13 @@ type Controller struct {
 	busFreeAt     uint64 // data bus availability
 	nextRefresh   uint64
 
+	// queue is a power-of-two ring: qhead indexes the oldest request,
+	// qlen counts occupants. Head dequeue is O(1) and a window pick at
+	// position i shifts at most Window-1 pointers (the legacy slice
+	// shifted the entire queue down on every head removal).
 	queue      []*Request
+	qhead      int
+	qlen       int
 	headBypass int // consecutive picks that bypassed the oldest request
 	stats      Stats
 
@@ -176,7 +220,10 @@ func NewController(cfg Config) *Controller {
 	}
 	return &Controller{
 		cfg:         cfg,
+		tm:          makeTimingU(cfg.Timing),
 		banks:       make([]bankState, g.Banks),
+		openRows:    make([]uint64, g.Banks),
+		queue:       make([]*Request, 32),
 		nextRefresh: uint64(cfg.Timing.TREFI),
 	}
 }
@@ -202,18 +249,57 @@ func (c *Controller) NewRequest() *Request {
 func (c *Controller) ResetStats() { c.stats = Stats{} }
 
 // QueueLen returns the number of unserviced requests.
-func (c *Controller) QueueLen() int { return len(c.queue) }
+func (c *Controller) QueueLen() int { return c.qlen }
+
+// qat returns the queued request at logical position i (0 = oldest).
+func (c *Controller) qat(i int) *Request {
+	return c.queue[(c.qhead+i)&(len(c.queue)-1)]
+}
+
+// qpush appends a request at the ring's tail, doubling the ring when full.
+func (c *Controller) qpush(r *Request) {
+	if c.qlen == len(c.queue) {
+		grown := make([]*Request, 2*len(c.queue))
+		for i := 0; i < c.qlen; i++ {
+			grown[i] = c.qat(i)
+		}
+		c.queue = grown
+		c.qhead = 0
+	}
+	c.queue[(c.qhead+c.qlen)&(len(c.queue)-1)] = r
+	c.qlen++
+}
+
+// qremove removes and returns the request at logical position i, preserving
+// the order of the rest: positions [0, i) shift up by one and the head
+// advances. Cost is i pointer moves — at most Window-1, and zero for the
+// common oldest-request case.
+func (c *Controller) qremove(i int) *Request {
+	mask := len(c.queue) - 1
+	r := c.queue[(c.qhead+i)&mask]
+	for j := i; j > 0; j-- {
+		c.queue[(c.qhead+j)&mask] = c.queue[(c.qhead+j-1)&mask]
+	}
+	c.queue[c.qhead] = nil
+	c.qhead = (c.qhead + 1) & mask
+	c.qlen--
+	return r
+}
 
 // Enqueue adds a request. Requests must arrive in non-decreasing order of
 // Arrival; violations are reported so the engine's merge logic cannot rot
-// silently.
+// silently. The request's DRAM coordinate is resolved here, once, and rides
+// on the request through every subsequent window scan.
 func (c *Controller) Enqueue(r *Request) error {
-	if n := len(c.queue); n > 0 && r.Arrival < c.queue[n-1].Arrival {
-		return fmt.Errorf("dram: out-of-order enqueue: %d after %d", r.Arrival, c.queue[n-1].Arrival)
+	if c.qlen > 0 && r.Arrival < c.qat(c.qlen-1).Arrival {
+		return fmt.Errorf("dram: out-of-order enqueue: %d after %d", r.Arrival, c.qat(c.qlen-1).Arrival)
 	}
-	c.queue = append(c.queue, r)
-	for len(c.queue) > c.cfg.Window ||
-		(len(c.queue) > 0 && c.queue[0].Arrival+c.cfg.Linger <= r.Arrival) {
+	co := c.cfg.Geometry.Map(r.Block)
+	r.bank, r.row = co.Bank, co.Row
+	c.qpush(r)
+	arrival := r.Arrival
+	for c.qlen > c.cfg.Window ||
+		(c.qlen > 0 && c.qat(0).Arrival+c.cfg.Linger <= arrival) {
 		c.serviceOne()
 	}
 	return nil
@@ -221,47 +307,43 @@ func (c *Controller) Enqueue(r *Request) error {
 
 // Flush services every queued request.
 func (c *Controller) Flush() {
-	for len(c.queue) > 0 {
+	for c.qlen > 0 {
 		c.serviceOne()
 	}
 }
 
 // serviceOne picks the best candidate within the reorder window under
 // FR-FCFS with demand priority, computes its command schedule analytically
-// and records completion.
+// and records completion. The scan reads only each candidate's cached
+// coordinate and the packed open-row snapshot — no geometry arithmetic and
+// no bank-struct walk per visit.
 func (c *Controller) serviceOne() {
-	w := len(c.queue)
+	w := c.qlen
 	if w > c.cfg.Window {
 		w = c.cfg.Window
 	}
 	if c.headBypass >= c.cfg.StarveLimit {
 		c.headBypass = 0
-		r := c.queue[0]
-		// Shift-down removal (not a reslice): the backing array keeps its
-		// front, so the queue reaches a stable capacity instead of
-		// reallocating on every wraparound.
-		c.queue = append(c.queue[:0], c.queue[1:]...)
-		c.execute(r)
+		c.execute(c.qremove(0))
 		return
 	}
 	best := 0
 	bestScore := -1
+	mask := len(c.queue) - 1
 	for i := 0; i < w; i++ {
-		r := c.queue[i]
-		co := c.cfg.Geometry.Map(r.Block)
-		b := &c.banks[co.Bank]
+		r := c.queue[(c.qhead+i)&mask]
 		// FR-FCFS: open-row hits first (they are cheap and keep the
 		// row open for their siblings), then demands over prefetches,
 		// then bank readiness (avoid back-to-back ACTs on one bank,
 		// which serialise on tRC), then age.
 		score := 0
-		if b.hasRow && b.openRow == co.Row {
+		if c.hasRowBits&(1<<uint(r.bank)) != 0 && c.openRows[r.bank] == r.row {
 			score += 8
 		}
 		if !r.Prefetch {
 			score += 4
 		}
-		if co.Bank != c.lastActBank {
+		if r.bank != c.lastActBank {
 			score++
 		}
 		if score > bestScore {
@@ -274,22 +356,18 @@ func (c *Controller) serviceOne() {
 	} else {
 		c.headBypass++
 	}
-	r := c.queue[best]
-	c.queue = append(c.queue[:best], c.queue[best+1:]...)
-	c.execute(r)
+	c.execute(c.qremove(best))
 }
 
 // refreshDelay advances the refresh schedule up to time t and returns the
 // earliest command time at or after t that does not collide with a refresh
 // window. Refresh is modelled as an all-bank operation closing every row.
 func (c *Controller) refreshDelay(t uint64) uint64 {
-	tm := c.cfg.Timing
 	for t >= c.nextRefresh {
-		refStart := c.nextRefresh
-		refEnd := refStart + uint64(tm.TRFC)
+		refEnd := c.nextRefresh + c.tm.rfc
 		c.stats.Refreshes++
+		c.hasRowBits = 0
 		for i := range c.banks {
-			c.banks[i].hasRow = false
 			if c.banks[i].earliestCAS < refEnd {
 				c.banks[i].earliestCAS = refEnd
 			}
@@ -300,7 +378,7 @@ func (c *Controller) refreshDelay(t uint64) uint64 {
 		if t < refEnd {
 			t = refEnd
 		}
-		c.nextRefresh += uint64(tm.TREFI)
+		c.nextRefresh += c.tm.refi
 	}
 	return t
 }
@@ -308,15 +386,14 @@ func (c *Controller) refreshDelay(t uint64) uint64 {
 // actConstraint returns the earliest time an ACT may issue at or after t,
 // honouring tRRD against the previous ACT and the tFAW sliding window.
 func (c *Controller) actConstraint(t uint64) uint64 {
-	tm := c.cfg.Timing
 	if c.actCount > 0 {
-		if e := c.actRing[(c.actCount-1)&3] + uint64(tm.TRRD); e > t {
+		if e := c.actRing[(c.actCount-1)&3] + c.tm.rrd; e > t {
 			t = e
 		}
 	}
 	if c.actCount >= 4 {
 		// Four ACTs ago sits in the slot the next noteAct overwrites.
-		if e := c.actRing[c.actCount&3] + uint64(tm.TFAW); e > t {
+		if e := c.actRing[c.actCount&3] + c.tm.faw; e > t {
 			t = e
 		}
 	}
@@ -338,88 +415,91 @@ func (c *Controller) powerDown(t uint64) uint64 {
 	}
 	threshold := uint64(c.cfg.PowerDownIdle)
 	if threshold == 0 {
-		threshold = 4 * uint64(c.cfg.Timing.TREFI) / 100
+		threshold = 4 * c.tm.refi / 100
 	}
-	tm := c.cfg.Timing
-	if t > c.lastBusyAt && t-c.lastBusyAt > threshold+uint64(tm.TCKE) {
+	if t > c.lastBusyAt && t-c.lastBusyAt > threshold+c.tm.cke {
 		c.stats.PowerDownEntries++
 		c.stats.PowerDownCycles += t - c.lastBusyAt - threshold
-		t += uint64(tm.TXP)
+		t += c.tm.xp
 	}
 	return t
 }
 
-// execute schedules the commands for request r and fills its outputs.
+// execute schedules the commands for request r and fills its outputs,
+// working entirely from the coordinate cached at Enqueue and the
+// precomputed timing constants.
 func (c *Controller) execute(r *Request) {
-	tm := c.cfg.Timing
-	co := c.cfg.Geometry.Map(r.Block)
-	b := &c.banks[co.Bank]
+	tm := &c.tm
+	bank, row := r.bank, r.row
+	b := &c.banks[bank]
 
 	t := c.refreshDelay(r.Arrival)
 	t = c.powerDown(t)
 
-	rowHit := b.hasRow && b.openRow == co.Row
+	bankBit := uint64(1) << uint(bank)
+	hasRow := c.hasRowBits&bankBit != 0
+	rowHit := hasRow && c.openRows[bank] == row
 	switch {
 	case rowHit:
 		c.stats.RowHits++
-	case b.hasRow:
+	case hasRow:
 		c.stats.RowMisses++
 	default:
 		c.stats.RowEmpty++
 	}
 
 	if !rowHit {
-		if b.hasRow {
+		if hasRow {
 			// Row conflict: precharge, then activate.
 			pre := maxU(t, b.earliestPre)
 			c.stats.Precharges++
-			actMin := pre + uint64(tm.TRP)
-			if e := b.lastActAt + uint64(tm.TRC); e > actMin {
+			actMin := pre + tm.rp
+			if e := b.lastActAt + tm.rc; e > actMin {
 				actMin = e
 			}
 			t = c.actConstraint(actMin)
 		} else {
-			if e := b.lastActAt + uint64(tm.TRC); b.acted && e > t {
+			if e := b.lastActAt + tm.rc; b.acted && e > t {
 				t = e
 			}
 			t = c.actConstraint(t)
 		}
 		c.noteAct(t)
-		c.lastActBank = co.Bank
+		c.lastActBank = bank
 		b.acted = true
 		b.lastActAt = t
-		b.hasRow = true
-		b.openRow = co.Row
-		b.earliestPre = t + uint64(tm.TRAS)
-		b.earliestCAS = t + uint64(tm.TRCD)
+		c.hasRowBits |= bankBit
+		c.openRows[bank] = row
+		b.earliestPre = t + tm.ras
+		b.earliestCAS = t + tm.rcd
 	}
 
 	// CAS issue time: bank ready, channel CAS-to-CAS gap, turnaround and
 	// data-bus availability.
 	cas := maxU(t, b.earliestCAS)
-	if e := c.lastCASAt + uint64(tm.TCCD); e > cas && c.stats.Reads+c.stats.Writes > 0 {
+	if e := c.lastCASAt + tm.ccd; e > cas && c.stats.Reads+c.stats.Writes > 0 {
 		cas = e
 	}
-	burst := uint64(tm.BurstCycles())
+	burst := tm.burst
 	if r.Write {
 		// Data occupies the bus CWL after the WR command.
-		if e := c.busFreeAt; e+0 > cas+uint64(tm.CWL) {
-			cas = e - uint64(tm.CWL)
+		if e := c.busFreeAt; e > cas+tm.cwl {
+			cas = e - tm.cwl
 		}
 		if !c.lastWasWrite && c.stats.Reads > 0 {
 			// read→write turnaround
-			if e := c.busFreeAt + uint64(tm.TRTRS); e > cas+uint64(tm.CWL) {
-				cas = e - uint64(tm.CWL)
+			if e := c.busFreeAt + tm.rtrs; e > cas+tm.cwl {
+				cas = e - tm.cwl
 			}
 		}
-		dataStart := cas + uint64(tm.CWL)
+		dataStart := cas + tm.cwl
 		dataEnd := dataStart + burst
 		c.busFreeAt = dataEnd
 		c.lastWrDataEnd = dataEnd
 		c.lastWasWrite = true
 		c.lastCASAt = cas
 		// Write recovery gates future PRE.
-		if e := dataEnd + uint64(tm.TWR); e > b.earliestPre {
+		if e := dataEnd + tm.wr; e > b.earliestPre {
 			b.earliestPre = e
 		}
 		c.stats.Writes++
@@ -429,20 +509,20 @@ func (c *Controller) execute(r *Request) {
 	} else {
 		if c.lastWasWrite {
 			// write→read turnaround: tWTR after the write burst.
-			if e := c.lastWrDataEnd + uint64(tm.TWTR); e > cas {
+			if e := c.lastWrDataEnd + tm.wtr; e > cas {
 				cas = e
 			}
 		}
-		if e := c.busFreeAt; e > cas+uint64(tm.CL) {
-			cas = e - uint64(tm.CL)
+		if e := c.busFreeAt; e > cas+tm.cl {
+			cas = e - tm.cl
 		}
-		dataStart := cas + uint64(tm.CL)
+		dataStart := cas + tm.cl
 		dataEnd := dataStart + burst
 		c.busFreeAt = dataEnd
 		c.lastWasWrite = false
 		c.lastCASAt = cas
 		// Read-to-precharge constraint.
-		if e := cas + uint64(tm.TRTP); e > b.earliestPre {
+		if e := cas + tm.rtp; e > b.earliestPre {
 			b.earliestPre = e
 		}
 		c.stats.Reads++

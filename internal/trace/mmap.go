@@ -111,6 +111,30 @@ func (s *MappedStream) decodeAt(i int) Record {
 	}
 }
 
+// decodeBatch decodes len(dst) records from src into dst. This is the batch
+// fast path behind NextChunk: one up-front bounds assertion covers the whole
+// batch, and each record is then two word-at-a-time little-endian loads plus
+// two byte loads from a constant-size sub-slice — no per-record slice-header
+// arithmetic the bounds checker has to re-prove. src must hold at least
+// len(dst)*recordBytes bytes.
+func decodeBatch(dst []Record, src []byte) {
+	if len(dst) == 0 {
+		return
+	}
+	_ = src[len(dst)*recordBytes-1] // one bounds assertion for the batch
+	off := 0
+	for k := range dst {
+		b := src[off : off+recordBytes : off+recordBytes]
+		dst[k] = Record{
+			Addr:   addr.Addr(binary.LittleEndian.Uint64(b[0:8])),
+			Cycle:  binary.LittleEndian.Uint64(b[8:16]),
+			Device: Device(b[16]),
+			Write:  b[17]&1 != 0,
+		}
+		off += recordBytes
+	}
+}
+
 // Next implements Stream.
 func (s *MappedStream) Next() (Record, bool) {
 	if s.pos >= s.n {
@@ -121,14 +145,20 @@ func (s *MappedStream) Next() (Record, bool) {
 	return rec, true
 }
 
-// NextChunk implements Chunker.
+// NextChunk implements Chunker: a whole engine chunk (trace.ChunkSize
+// records when the engine drives it) decodes per call through decodeBatch,
+// which is what RunStream's ReadChunk fast path consumes.
 func (s *MappedStream) NextChunk(dst []Record) int {
-	k := 0
-	for ; k < len(dst) && s.pos < s.n; k++ {
-		dst[k] = s.decodeAt(s.pos)
-		s.pos++
+	n := s.n - s.pos
+	if n <= 0 {
+		return 0
 	}
-	return k
+	if n > len(dst) {
+		n = len(dst)
+	}
+	decodeBatch(dst[:n], s.recs[s.pos*recordBytes:])
+	s.pos += n
+	return n
 }
 
 // Err implements Stream; a mapped stream cannot fail after open.
