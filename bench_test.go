@@ -148,7 +148,10 @@ func BenchmarkTableTraffic(b *testing.B) {
 // 345.2 KB ≈ 8.4 % of the 4 MB SC).
 func BenchmarkTableStorage(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		kb := experiments.TableStorage(io.Discard)
+		kb, err := experiments.TableStorage(io.Discard)
+		if err != nil {
+			b.Fatal(err)
+		}
 		b.ReportMetric(kb, "storage_KB")
 	}
 }

@@ -16,13 +16,28 @@
 //	experiments -validate-artifact out.json          # parse + validate, exit
 //	experiments -validate-trace run.trace.json       # parse + validate a Chrome trace, exit
 //	experiments -run all -debug-addr localhost:6060  # live progress + pprof while the sweep runs
+//
+// Sweep farm (see EXPERIMENTS.md, "Sweep farm"): -repeats > 1 or -grid
+// switches to the resumable grid runner, which checkpoints one artifact per
+// (cell, repeat) into -artifact-dir, resumes whatever is already there, and
+// reports mean ± 95 % CI per metric:
+//
+//	experiments -repeats 5 -artifact-dir farm/ -csv farm.csv   # R=5 with resume
+//	experiments -grid grid.json -artifact-dir farm/ -latex t.tex
+//
+// Interrupting a farm run (SIGINT/SIGTERM) checkpoints cleanly; re-running
+// the same command executes only the jobs that have no valid artifact.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/events"
@@ -30,6 +45,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/obs"
 	"repro/internal/sim"
+	"repro/internal/sweepfarm"
 )
 
 func main() {
@@ -48,6 +64,10 @@ func main() {
 	validateTrace := flag.String("validate-trace", "", "read and validate the Chrome trace-event JSON at this path, then exit (CI smoke check)")
 	debugAddr := flag.String("debug-addr", "", "serve live sweep introspection (progress, expvar, pprof) on this address, e.g. localhost:6060")
 	extraPF := flag.String("extra-pf", "", "comma-separated extra prefetchers added to the fig7/csv sweep set, e.g. planaria-tournament (see sim.PrefetcherNames)")
+	repeats := flag.Int("repeats", 1, "seeded repeats per sweep cell; values > 1 run the resumable sweep farm and report mean ± 95% CI (see EXPERIMENTS.md)")
+	gridPath := flag.String("grid", "", "JSON grid spec (apps × prefetchers × variants × repeats) run on the sweep farm; overrides -run")
+	csvOut := flag.String("csv", "", "farm mode: write the grouped statistics CSV (mean/std/ci95 per metric) to this path")
+	latexOut := flag.String("latex", "", "farm mode: write LaTeX hit-rate and AMAT tables to this path")
 	flag.Parse()
 
 	var extras []string
@@ -126,6 +146,13 @@ func main() {
 	}
 	w := os.Stdout
 
+	if *gridPath != "" || *repeats > 1 {
+		if err := runFarm(w, *gridPath, *repeats, opts, *csvOut, *latexOut); err != nil {
+			fail(err)
+		}
+		return
+	}
+
 	man := obs.NewManifest("experiments")
 	man.Requests = *n
 	man.Warmup = *warmup
@@ -188,7 +215,9 @@ func main() {
 		avg, err = experiments.Fig9b(w, opts)
 		summary["fig9b_slp_share_avg"] = avg
 	case "tab-storage":
-		summary["planaria_storage_kb"] = experiments.TableStorage(w)
+		var kb float64
+		kb, err = experiments.TableStorage(w)
+		summary["planaria_storage_kb"] = kb
 	case "cache-study":
 		var amats map[string]float64
 		amats, err = experiments.CacheStudy(w, opts, nil)
@@ -245,6 +274,97 @@ func main() {
 			fail(err)
 		}
 	}
+}
+
+// runFarm executes the sweep-farm path: a grid loaded from -grid (or the
+// default catalog × EvalSet grid), R repeats per cell, resumable through
+// opts.ArtifactDir. SIGINT/SIGTERM cancel at the next chunk boundary —
+// completed jobs stay checkpointed, so re-running the same command picks up
+// where the interrupt landed.
+func runFarm(w io.Writer, gridPath string, repeats int, opts experiments.Options, csvOut, latexOut string) error {
+	grid := sweepfarm.Grid{Prefetchers: opts.EvalSet()}
+	if gridPath != "" {
+		g, err := sweepfarm.LoadGrid(gridPath)
+		if err != nil {
+			return err
+		}
+		grid = g
+	}
+	if repeats > 1 {
+		// An explicit -repeats wins over the grid file's value; -repeats 1
+		// (the flag default) defers to the file.
+		grid.Repeats = repeats
+	}
+	if err := grid.Validate(); err != nil {
+		return err
+	}
+
+	// Mirror Options.warmup's 0→default resolution: the farm's Config holds
+	// the resolved fraction (no sentinel), so equal effective configurations
+	// hash — and resume — equally.
+	warmup := opts.Warmup
+	if warmup == 0 {
+		warmup = 0.2
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	runner := &sweepfarm.Runner{
+		Grid: grid,
+		Base: sweepfarm.Config{
+			Requests:    opts.Requests,
+			Warmup:      warmup,
+			Serial:      opts.Serial,
+			SubShards:   opts.SubShards,
+			NoStream:    opts.NoStream,
+			SampleEvery: opts.SampleEvery,
+		},
+		ArtifactDir: opts.ArtifactDir,
+		Counters:    opts.Counters,
+		Verbose:     os.Stderr,
+		Materialize: experiments.TraceFor,
+	}
+	res, runErr := runner.Run(ctx)
+	if res != nil {
+		sweepfarm.TableHitRate(w, res)
+		sweepfarm.TableAMAT(w, res)
+		sweepfarm.TablePower(w, res)
+		fmt.Fprintf(w, "\nfarm: %d jobs executed, %d resumed, %d failed\n",
+			res.Executed, res.Resumed, res.Failed)
+		if csvOut != "" {
+			if err := writeFarmFile(csvOut, func(f io.Writer) error {
+				return sweepfarm.WriteGroupedCSV(f, res)
+			}); err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "wrote %s\n", csvOut)
+		}
+		if latexOut != "" {
+			if err := writeFarmFile(latexOut, func(f io.Writer) error {
+				if err := sweepfarm.WriteLaTeX(f, res, "hit_rate"); err != nil {
+					return err
+				}
+				return sweepfarm.WriteLaTeX(f, res, "amat_cycles")
+			}); err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "wrote %s\n", latexOut)
+		}
+	}
+	return runErr
+}
+
+func writeFarmFile(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func fail(err error) {

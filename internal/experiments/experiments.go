@@ -1,18 +1,19 @@
 package experiments
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"io"
 	"math"
-	"runtime"
 	"sort"
 	"strings"
-	"sync"
 
 	"repro/internal/analysis"
 	"repro/internal/events"
 	"repro/internal/metrics"
 	"repro/internal/sim"
+	"repro/internal/sweepfarm"
 	"repro/internal/workloads"
 )
 
@@ -146,73 +147,67 @@ func RunOne(p workloads.Profile, pf string, opts Options) (metrics.Report, error
 	return runProfile(sim.New(cfg), p, opts)
 }
 
-// Sweep runs every catalog app under every named prefetcher. Runs are
-// independent and deterministic, so they execute concurrently (bounded by
-// GOMAXPROCS); results are identical to a serial sweep.
+// Sweep runs every catalog app under every named prefetcher. Since the
+// sweep farm landed it is a thin wrapper over sweepfarm.Runner with one
+// repeat, no config variants and no resume directory — the output is bit
+// for bit what the original hand-rolled worker pool produced (runs are
+// deterministic and repeat 0 keeps each profile's catalog seed), which the
+// golden/equivalence tests pin. Callers that want repeats, resumability or
+// CI statistics use the farm directly (or cmd/experiments -repeats/-grid).
 //
 // On failure Sweep degrades instead of discarding the sweep: the returned
-// map holds every cell that completed cleanly alongside the first error
-// (failed cells are simply absent). Callers that need an all-or-nothing
+// map holds every cell that completed cleanly (failed cells are simply
+// absent), and the error joins one entry per failed cell — each prefixed
+// with its cell key — so a multi-cell failure diagnoses in a single pass
+// instead of one error per re-run. Callers that need an all-or-nothing
 // result should treat a non-nil error as fatal; callers surfacing partial
 // progress (cmd/experiments) can still write artifacts for the completed
 // cells.
 func Sweep(prefetchers []string, opts Options) (map[string]map[string]metrics.Report, error) {
-	type job struct {
-		app workloads.Profile
-		pf  string
-	}
-	var jobs []job
-	for _, p := range workloads.Catalog() {
-		if opts.NoStream {
-			// Materialized mode: generate each trace once up front (the
-			// per-trace cache is shared; generating inside workers would
-			// duplicate work). Streaming runs regenerate per worker —
-			// generation is a fraction of simulation cost, and skipping
-			// the cache keeps sweep memory independent of trace length.
-			TraceFor(p, opts.requests())
-		}
-		for _, pf := range prefetchers {
-			jobs = append(jobs, job{app: p, pf: pf})
+	// The old pool tolerated duplicates (map writes made them redundant)
+	// and an empty set (empty sweep); keep both behaviours.
+	uniq := make([]string, 0, len(prefetchers))
+	seen := make(map[string]bool, len(prefetchers))
+	for _, pf := range prefetchers {
+		if !seen[pf] {
+			seen[pf] = true
+			uniq = append(uniq, pf)
 		}
 	}
-
-	var (
-		mu     sync.Mutex
-		out    = make(map[string]map[string]metrics.Report)
-		first  error
-		wg     sync.WaitGroup
-		tokens = make(chan struct{}, runtime.GOMAXPROCS(0))
-	)
-	for _, j := range jobs {
-		wg.Add(1)
-		tokens <- struct{}{}
-		go func(j job) {
-			defer wg.Done()
-			defer func() { <-tokens }()
-			rep, err := RunOne(j.app, j.pf, opts)
-			mu.Lock()
-			defer mu.Unlock()
-			if err != nil {
-				if first == nil {
-					first = err
-				}
-				return
-			}
-			if out[j.app.Abbr] == nil {
-				out[j.app.Abbr] = make(map[string]metrics.Report)
-			}
-			out[j.app.Abbr][j.pf] = rep
-		}(j)
+	if len(uniq) == 0 {
+		return map[string]map[string]metrics.Report{}, nil
 	}
-	wg.Wait()
+	runner := &sweepfarm.Runner{
+		Grid: sweepfarm.Grid{Prefetchers: uniq},
+		Base: sweepfarm.Config{
+			Requests:    opts.requests(),
+			Warmup:      opts.warmup(),
+			Serial:      opts.Serial,
+			SubShards:   opts.SubShards,
+			NoStream:    opts.NoStream,
+			SampleEvery: opts.SampleEvery,
+		},
+		Counters:    opts.Counters,
+		Materialize: TraceFor,
+	}
+	res, runErr := runner.Run(context.Background())
+	if res == nil {
+		return nil, runErr
+	}
+	out := res.ReportGrid("")
+	var errs []error
+	if runErr != nil {
+		errs = append(errs, runErr)
+	}
 	if opts.ArtifactDir != "" {
 		// Completed cells are written even on a partial sweep — their
-		// reports are valid; the error still propagates.
-		if err := writeCellArtifacts(opts.ArtifactDir, out, opts); err != nil && first == nil {
-			first = err
+		// reports are valid; any write error joins the run errors rather
+		// than shadowing (or being shadowed by) them.
+		if werr := writeCellArtifacts(opts.ArtifactDir, out, opts); werr != nil {
+			errs = append(errs, werr)
 		}
 	}
-	return out, first
+	return out, errors.Join(errs...)
 }
 
 // EvalPrefetchers is the prefetcher set of Figures 7, 8 and 10.
@@ -335,11 +330,19 @@ func Fig8(w io.Writer, reps map[string]map[string]metrics.Report) (vsNone, vsBOP
 	return vsNone, vsBOP, vsSPP
 }
 
+// fig9Prefetchers is the Figure 9 sweep set — a variable (not a literal in
+// Fig9) so the RunAll partial-results test can inject a failing cell.
+var fig9Prefetchers = []string{"none", "planaria-slp", "planaria-tlp", "planaria"}
+
+// fig9bPrefetcher is the configuration Fig9b attributes; a variable for
+// the same fault-injection reason.
+var fig9bPrefetcher = "planaria"
+
 // Fig9 runs the Planaria breakdown (SLP-only, TLP-only, full) and prints
 // each variant's share of the AMAT improvement (paper: SLP ≈ 80 % overall,
 // TLP dominant on Fort).
 func Fig9(w io.Writer, opts Options) (slpShareAvg float64, slpShare map[string]float64, err error) {
-	reps, err := Sweep([]string{"none", "planaria-slp", "planaria-tlp", "planaria"}, opts)
+	reps, err := Sweep(fig9Prefetchers, opts)
 	if err != nil {
 		return 0, nil, err
 	}
@@ -374,7 +377,7 @@ func Fig9b(w io.Writer, opts Options) (slpShareAvg float64, err error) {
 	fmt.Fprintf(w, "%-6s %12s %12s %12s\n", "app", "slp", "tlp", "slp-share")
 	var shares []float64
 	for _, p := range workloads.Catalog() {
-		rep, err := RunOne(p, "planaria", opts)
+		rep, err := RunOne(p, fig9bPrefetcher, opts)
 		if err != nil {
 			return 0, err
 		}
@@ -459,15 +462,24 @@ func TableTraffic(w io.Writer, reps map[string]map[string]metrics.Report) (bopAv
 }
 
 // TableStorage prints the prefetcher metadata budget (paper: 345.2 KB).
-func TableStorage(w io.Writer) float64 {
-	factory, _ := sim.NamedPrefetcher("planaria")
+func TableStorage(w io.Writer) (float64, error) {
+	return tableStorage(w, "planaria")
+}
+
+func tableStorage(w io.Writer, name string) (float64, error) {
+	factory, err := sim.NamedPrefetcher(name)
+	if err != nil {
+		// A registry rename must surface as an error, not as a nil factory
+		// dereference on the next line.
+		return 0, fmt.Errorf("storage table: %w", err)
+	}
 	bits := 0
 	for ch := 0; ch < 4; ch++ {
 		bits += factory(ch).StorageBits()
 	}
 	kb := float64(bits) / 8 / 1024
 	fmt.Fprintf(w, "\n== Storage ==\nPlanaria metadata: %.1f KB across 4 channels (paper: 345.2 KB = 8.4%% of 4 MB SC)\n", kb)
-	return kb
+	return kb, nil
 }
 
 // RunAll strings the full evaluation; used by cmd/experiments -run all. It
@@ -481,16 +493,22 @@ func RunAll(w io.Writer, opts Options) (map[string]map[string]metrics.Report, er
 		return reps, err
 	}
 	Fig8(w, reps)
+	// Every error path below returns reps, never nil: Fig7's sweep has
+	// already completed by this point and discarding it would throw away
+	// the partial results cmd/experiments writes artifacts from (the same
+	// degrade-don't-discard contract Sweep itself keeps).
 	if _, _, err := Fig9(w, opts); err != nil {
-		return nil, err
+		return reps, err
 	}
 	if _, err := Fig9b(w, opts); err != nil {
-		return nil, err
+		return reps, err
 	}
 	Fig10(w, reps)
 	TableIPC(w, reps)
 	TableTraffic(w, reps)
-	TableStorage(w)
+	if _, err := TableStorage(w); err != nil {
+		return reps, err
+	}
 	return reps, nil
 }
 

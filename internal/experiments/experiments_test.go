@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"io"
 	"math"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -76,6 +77,96 @@ func TestSweepPartialOnError(t *testing.T) {
 		if _, ok := cells["none"]; !ok {
 			t.Fatalf("%s: completed cell missing from partial results", app)
 		}
+	}
+}
+
+// TestSweepMatchesRunOne: the farm-backed Sweep is a pure wrapper — its
+// single-repeat cells are bit-identical to the direct RunOne path the old
+// worker pool used (repeat 0 keeps the catalog seed, and the streamed
+// context run is the same code path as RunWarmStream).
+func TestSweepMatchesRunOne(t *testing.T) {
+	opts := Options{Requests: 20_000}
+	reps, err := Sweep([]string{"planaria"}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, abbr := range []string{"CFM", "Fort"} {
+		p, _ := workloads.ByAbbr(abbr)
+		direct, err := RunOne(p, "planaria", opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := reps[abbr]["planaria"]
+		if !reflect.DeepEqual(got, direct) {
+			t.Fatalf("%s: farm-backed sweep diverged from RunOne:\nfarm:   %+v\ndirect: %+v", abbr, got, direct)
+		}
+	}
+}
+
+// TestSweepJoinedErrors: a multi-cell failure reports every failed cell —
+// each tagged with its cell key — in one joined error, not just the first
+// scheduler-ordered loser, while the completed cells still come back.
+func TestSweepJoinedErrors(t *testing.T) {
+	reps, err := Sweep([]string{"none", "warp-drive", "hyper-lane"}, Options{Requests: 20_000})
+	if err == nil {
+		t.Fatal("unknown prefetchers accepted by Sweep")
+	}
+	msg := err.Error()
+	// Every failed cell is identified: both bad prefetchers appear, keyed
+	// by cell (spot-check two apps — one per bad prefetcher).
+	for _, frag := range []string{"CFM/warp-drive", "CFM/hyper-lane", "PM/warp-drive"} {
+		if !strings.Contains(msg, frag) {
+			t.Fatalf("joined error missing cell %q:\n%s", frag, msg)
+		}
+	}
+	if len(reps) != 10 {
+		t.Fatalf("completed cells discarded: %d apps, want 10", len(reps))
+	}
+	for app, cells := range reps {
+		if _, ok := cells["none"]; !ok {
+			t.Fatalf("%s: completed cell missing from partial results", app)
+		}
+		if len(cells) != 1 {
+			t.Fatalf("%s: failed cells leaked into results: %v", app, cells)
+		}
+	}
+}
+
+// TestRunAllPartialOnFig9Failure: when a figure after Fig7 fails, RunAll
+// must hand back the completed Fig7 sweep with the error instead of
+// discarding it — cmd/experiments writes its artifacts from that map.
+func TestRunAllPartialOnFig9Failure(t *testing.T) {
+	oldSet := fig9Prefetchers
+	fig9Prefetchers = []string{"none", "warp-drive"}
+	defer func() { fig9Prefetchers = oldSet }()
+
+	reps, err := RunAll(io.Discard, Options{Requests: 20_000})
+	if err == nil {
+		t.Fatal("injected Fig9 failure did not surface")
+	}
+	if len(reps) != 10 {
+		t.Fatalf("Fig7 sweep discarded on Fig9 failure: %d apps, want 10", len(reps))
+	}
+	for _, pf := range EvalPrefetchers {
+		if _, ok := reps["CFM"][pf]; !ok {
+			t.Fatalf("Fig7 report for CFM/%s missing from partial results", pf)
+		}
+	}
+}
+
+// TestRunAllPartialOnFig9bFailure: same contract for the Fig9b error path.
+func TestRunAllPartialOnFig9bFailure(t *testing.T) {
+	oldSet, oldPF := fig9Prefetchers, fig9bPrefetcher
+	fig9Prefetchers = []string{"none"} // keep the healthy figures cheap
+	fig9bPrefetcher = "warp-drive"
+	defer func() { fig9Prefetchers, fig9bPrefetcher = oldSet, oldPF }()
+
+	reps, err := RunAll(io.Discard, Options{Requests: 20_000})
+	if err == nil {
+		t.Fatal("injected Fig9b failure did not surface")
+	}
+	if len(reps) != 10 {
+		t.Fatalf("Fig7 sweep discarded on Fig9b failure: %d apps, want 10", len(reps))
 	}
 }
 
@@ -193,9 +284,18 @@ func TestTableIPCPositiveUplift(t *testing.T) {
 }
 
 func TestTableStorageNearPaper(t *testing.T) {
-	kb := TableStorage(io.Discard)
+	kb, err := TableStorage(io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if kb < 250 || kb > 450 {
 		t.Fatalf("storage %.1f KB outside the paper's neighbourhood", kb)
+	}
+}
+
+func TestTableStorageUnknownPrefetcher(t *testing.T) {
+	if _, err := tableStorage(io.Discard, "warp-drive"); err == nil {
+		t.Fatal("tableStorage accepted an unknown prefetcher instead of returning the registry error")
 	}
 }
 

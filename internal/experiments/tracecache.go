@@ -26,10 +26,14 @@ import (
 var TraceCacheBytes int64 = 128 << 20
 
 // traceKey identifies one memoised trace: comparable struct keys avoid the
-// fmt.Sprintf allocation a string key would pay on every lookup.
+// fmt.Sprintf allocation a string key would pay on every lookup. The seed
+// is part of the key because the sweep farm reseeds catalog profiles per
+// repeat — two repeats of the same app at the same length are different
+// traces and must not share a cache entry.
 type traceKey struct {
 	Abbr string
 	N    int
+	Seed int64
 }
 
 type cacheEntry struct {
@@ -39,10 +43,13 @@ type cacheEntry struct {
 }
 
 // inflight is one single-flight generation: latecomers wait on done and
-// read t.
+// read t. failed is written before done is closed (so the close provides
+// the happens-before edge) and marks a generation whose generator
+// panicked: waiters must retry instead of consuming the zero trace.
 type inflight struct {
-	done chan struct{}
-	t    trace.Trace
+	done   chan struct{}
+	t      trace.Trace
+	failed bool
 }
 
 type traceCache struct {
@@ -65,7 +72,7 @@ func traceBytes(t trace.Trace) int64 {
 // TraceFor returns the deterministic trace of an app at the given length,
 // memoised under the byte cap.
 func TraceFor(p workloads.Profile, n int) trace.Trace {
-	key := traceKey{Abbr: p.Abbr, N: n}
+	key := traceKey{Abbr: p.Abbr, N: n, Seed: p.Seed}
 	traces.mu.Lock()
 	if e, ok := traces.entries[key]; ok {
 		traces.clock++
@@ -77,19 +84,40 @@ func TraceFor(p workloads.Profile, n int) trace.Trace {
 		// Another goroutine is generating this trace; share its result.
 		traces.mu.Unlock()
 		<-f.done
+		if f.failed {
+			// The generator panicked and its cleanup removed the inflight
+			// record; retry — this caller may become the new generator,
+			// so a deterministic panic surfaces here too instead of
+			// being swallowed.
+			return TraceFor(p, n)
+		}
 		return f.t
 	}
 	f := &inflight{done: make(chan struct{})}
+	f.failed = true // cleared only when generation completes
 	traces.gen[key] = f
+	// The single-flight record must not outlive a panicking generator:
+	// without this cleanup the record would stay in gen with done never
+	// closed, and every later caller for the key would block forever.
+	// The deferred cleanup runs on success and on panic alike (the panic
+	// then propagates to the caller unchanged).
+	defer func() {
+		traces.mu.Lock()
+		// resetTraceCache may have swapped the gen map mid-generation;
+		// only remove our own record.
+		if traces.gen[key] == f {
+			delete(traces.gen, key)
+		}
+		if !f.failed {
+			traces.insert(key, f.t)
+		}
+		traces.mu.Unlock()
+		close(f.done)
+	}()
 	traces.mu.Unlock()
 
 	f.t = p.Generate(n)
-
-	traces.mu.Lock()
-	delete(traces.gen, key)
-	traces.insert(key, f.t)
-	traces.mu.Unlock()
-	close(f.done)
+	f.failed = false
 	return f.t
 }
 
@@ -133,10 +161,18 @@ func traceCacheStats() (entries int, bytes int64) {
 	return len(traces.entries), traces.size
 }
 
-// resetTraceCache drops every memoised trace (test hook).
+// resetTraceCache drops every memoised trace and every in-flight
+// generation record (test hook). Clearing gen matters: a reset that left a
+// stale inflight behind would hand later TraceFor calls a record whose
+// done channel may never close (blocking them forever) or whose trace is
+// absent from the cache accounting. A generation actually running across
+// the reset is unaffected — its deferred cleanup only deletes its own
+// record from whichever map it still appears in, and its waiters hold a
+// direct pointer to the inflight record, not a map lookup.
 func resetTraceCache() {
 	traces.mu.Lock()
 	defer traces.mu.Unlock()
 	traces.entries = map[traceKey]*cacheEntry{}
+	traces.gen = map[traceKey]*inflight{}
 	traces.size = 0
 }

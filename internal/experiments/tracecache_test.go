@@ -3,6 +3,7 @@ package experiments
 import (
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/trace"
 	"repro/internal/workloads"
@@ -66,6 +67,113 @@ func TestTraceCacheOversized(t *testing.T) {
 		}
 		if n, _ := traceCacheStats(); n != 1 {
 			t.Fatalf("oversized cache holds %d entries, want 1", n)
+		}
+	})
+}
+
+// TestTraceCacheSeedKey: the cache key includes the profile seed, so two
+// runs of the same app at the same length but different seeds (the sweep
+// farm's derived-seed repeats) get distinct traces instead of sharing one
+// entry.
+func TestTraceCacheSeedKey(t *testing.T) {
+	p := workloads.Catalog()[0]
+	withCacheCap(t, TraceCacheBytes, func() {
+		a := TraceFor(p, 1000)
+		p2 := p
+		p2.Seed = p.Seed + 12345
+		b := TraceFor(p2, 1000)
+		if &a[0] == &b[0] {
+			t.Fatal("different seeds shared one cache entry")
+		}
+		if n, _ := traceCacheStats(); n != 2 {
+			t.Fatalf("cache holds %d entries after two seeds, want 2", n)
+		}
+		// Same profile again is still a hit, not a regeneration.
+		a2 := TraceFor(p, 1000)
+		if &a[0] != &a2[0] {
+			t.Fatal("original seed entry was regenerated")
+		}
+	})
+}
+
+// TestTraceForPanicCleanup: a generator panic must not strand the
+// single-flight record — the panic propagates to every caller (including
+// concurrent waiters, which retry and hit the same deterministic panic)
+// and the inflight map ends empty, so later calls for other keys are
+// unaffected.
+func TestTraceForPanicCleanup(t *testing.T) {
+	// The zero profile fails Validate, so Generate panics via NewGenerator.
+	bad := workloads.Profile{Abbr: "BAD-PANIC"}
+	withCacheCap(t, TraceCacheBytes, func() {
+		const goroutines = 4
+		panics := make(chan any, goroutines)
+		var wg sync.WaitGroup
+		for i := 0; i < goroutines; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				defer func() { panics <- recover() }()
+				TraceFor(bad, 500)
+			}()
+		}
+		done := make(chan struct{})
+		go func() { wg.Wait(); close(done) }()
+		select {
+		case <-done:
+		case <-time.After(30 * time.Second):
+			t.Fatal("a waiter blocked forever after the generator panicked")
+		}
+		for i := 0; i < goroutines; i++ {
+			if p := <-panics; p == nil {
+				t.Fatal("a caller returned normally from a panicking generation")
+			}
+		}
+		traces.mu.Lock()
+		stranded := len(traces.gen)
+		traces.mu.Unlock()
+		if stranded != 0 {
+			t.Fatalf("%d single-flight records stranded after panic", stranded)
+		}
+		// The key is fully released: a later valid generation under an
+		// unrelated key proceeds normally.
+		good := workloads.Catalog()[0]
+		if tr := TraceFor(good, 100); len(tr) != 100 {
+			t.Fatalf("cache unusable after panic: got %d records", len(tr))
+		}
+	})
+}
+
+// TestResetTraceCacheClearsInflight: resetTraceCache must drop in-flight
+// generation records along with the entries; a stale record whose done
+// channel never closes would otherwise block every later TraceFor for
+// that key forever.
+func TestResetTraceCacheClearsInflight(t *testing.T) {
+	p := workloads.Catalog()[1]
+	withCacheCap(t, TraceCacheBytes, func() {
+		key := traceKey{Abbr: p.Abbr, N: 750, Seed: p.Seed}
+		traces.mu.Lock()
+		traces.gen[key] = &inflight{done: make(chan struct{})} // never closed
+		traces.mu.Unlock()
+
+		resetTraceCache()
+
+		traces.mu.Lock()
+		left := len(traces.gen)
+		traces.mu.Unlock()
+		if left != 0 {
+			t.Fatalf("resetTraceCache left %d inflight records", left)
+		}
+		// The same key must generate fresh instead of joining the dead
+		// record; bound the wait so a regression fails instead of hanging.
+		got := make(chan trace.Trace, 1)
+		go func() { got <- TraceFor(p, 750) }()
+		select {
+		case tr := <-got:
+			if len(tr) != 750 {
+				t.Fatalf("post-reset trace has %d records, want 750", len(tr))
+			}
+		case <-time.After(30 * time.Second):
+			t.Fatal("TraceFor joined a stale inflight record after reset")
 		}
 	})
 }

@@ -21,9 +21,12 @@ import (
 //
 // History: v1 = manifest + report/summary/cells; v2 adds the optional
 // event-level attribution table (Artifact.Attribution) and the per-origin
-// late-hit breakdown inside reports. Readers accept any version in
-// [1, SchemaVersion] — the additions are strictly optional fields.
-const SchemaVersion = 2
+// late-hit breakdown inside reports; v3 adds repeat/seed/config-hash
+// provenance to the manifest (Repeat, ConfigHash — Seed predates v3) for
+// the sweep farm's repeated, resumable grids (internal/sweepfarm). Readers
+// accept any version in [1, SchemaVersion] — the additions are strictly
+// optional fields.
+const SchemaVersion = 3
 
 // Manifest records the provenance of one run: everything needed to
 // reproduce the numbers in the artifact it accompanies.
@@ -39,6 +42,15 @@ type Manifest struct {
 	Warmup      float64 `json:"warmup,omitempty"`    // warmup fraction
 	SampleEvery uint64  `json:"sample_every,omitempty"`
 	Seed        int64   `json:"seed,omitempty"`
+
+	// Repeat and ConfigHash are the sweep farm's provenance (schema v3):
+	// Repeat is the 0-based repeat index of this run within its grid
+	// cell, and ConfigHash fingerprints the full simulation configuration
+	// that produced it. A resume scan accepts a cell artifact only when
+	// both (plus Seed and the run shape) match the planned job — anything
+	// else is stale and re-executed (internal/sweepfarm).
+	Repeat     int    `json:"repeat,omitempty"`
+	ConfigHash string `json:"config_hash,omitempty"`
 
 	GitDescribe string    `json:"git_describe,omitempty"`
 	GoVersion   string    `json:"go_version"`

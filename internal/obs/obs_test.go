@@ -20,6 +20,8 @@ func sampleArtifact() Artifact {
 	man.TraceLen, man.Requests = 800_000, 800_000
 	man.SampleEvery = 50_000
 	man.Seed = 101
+	man.Repeat = 2
+	man.ConfigHash = "a1b2c3d4e5f60718"
 	man.WallTimeSec = 1.25
 	rep := metrics.Report{
 		Workload:    "CFM",
@@ -122,10 +124,42 @@ func TestWriteReadFile(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, key := range []string{`"schema_version"`, `"manifest"`, `"amat_cycles"`, `"every_requests"`} {
+	for _, key := range []string{`"schema_version"`, `"manifest"`, `"amat_cycles"`, `"every_requests"`, `"repeat"`, `"config_hash"`} {
 		if !strings.Contains(string(raw), key) {
 			t.Fatalf("artifact JSON missing key %s", key)
 		}
+	}
+}
+
+// TestSchemaV3Provenance: the v3 repeat/seed/config-hash provenance fields
+// survive a round trip, and repeat 0 with no hash (a pre-v3 producer shape)
+// stays omitted from the JSON — older artifacts remain byte-stable.
+func TestSchemaV3Provenance(t *testing.T) {
+	art := sampleArtifact()
+	art.Manifest.Repeat = 4
+	art.Manifest.Seed = -7
+	art.Manifest.ConfigHash = "deadbeef00112233"
+	var buf bytes.Buffer
+	if err := Encode(&buf, art); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Manifest.Repeat != 4 || back.Manifest.Seed != -7 || back.Manifest.ConfigHash != "deadbeef00112233" {
+		t.Fatalf("v3 provenance lost in round trip: %+v", back.Manifest)
+	}
+
+	plain := sampleArtifact()
+	plain.Manifest.Repeat = 0
+	plain.Manifest.ConfigHash = ""
+	buf.Reset()
+	if err := Encode(&buf, plain); err != nil {
+		t.Fatal(err)
+	}
+	if s := buf.String(); strings.Contains(s, `"repeat"`) || strings.Contains(s, `"config_hash"`) {
+		t.Fatalf("zero-valued v3 fields not omitted:\n%s", s)
 	}
 }
 

@@ -1,0 +1,114 @@
+package sweepfarm
+
+import (
+	"math"
+
+	"repro/internal/metrics"
+)
+
+// Metrics lists the per-run scalar metrics the farm aggregates, in the
+// column order of the grouped CSV. The names match the single-run CSV
+// (experiments.WriteCSV) where the metrics overlap.
+var Metrics = []string{
+	"hit_rate", "amat_cycles", "ipc_est", "coverage", "accuracy",
+	"traffic", "energy_uj",
+}
+
+// MetricValue extracts one named metric from a report. Unknown names
+// return NaN so a typo surfaces in the output instead of reading as zero.
+func MetricValue(rep metrics.Report, name string) float64 {
+	switch name {
+	case "hit_rate":
+		return rep.HitRate()
+	case "amat_cycles":
+		return rep.AMAT
+	case "ipc_est":
+		return metrics.DefaultIPCModel().IPC(rep.AMAT)
+	case "coverage":
+		return rep.Coverage()
+	case "accuracy":
+		return rep.Accuracy()
+	case "traffic":
+		return float64(rep.Traffic())
+	case "energy_uj":
+		return rep.Energy.Total() / 1e6
+	}
+	return math.NaN()
+}
+
+// Stat summarises one metric over a cell's repeats.
+type Stat struct {
+	N    int     // repeats aggregated
+	Mean float64 // sample mean
+	Std  float64 // sample standard deviation (n−1 denominator; 0 when N=1)
+	CI95 float64 // 95 % confidence half-interval, Student-t (0 when N=1)
+}
+
+// Aggregate maps metric name → statistic for one cell.
+type Aggregate map[string]Stat
+
+// tCrit95 holds the two-sided 95 % Student-t critical values for 1–30
+// degrees of freedom; beyond 30 the normal approximation (1.96) is close
+// enough for reporting purposes. With the tiny repeat counts a grid
+// realistically runs (R = 3–10), using t instead of z is the difference
+// between an honest interval and one ~40 % too narrow.
+var tCrit95 = [...]float64{
+	12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+	2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+	2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+}
+
+// tCritical returns the two-sided 95 % t critical value for df degrees of
+// freedom.
+func tCritical(df int) float64 {
+	switch {
+	case df < 1:
+		return 0
+	case df <= len(tCrit95):
+		return tCrit95[df-1]
+	}
+	return 1.96
+}
+
+// NewStat computes mean, sample standard deviation and the Student-t 95 %
+// confidence half-interval of one sample set.
+func NewStat(xs []float64) Stat {
+	s := Stat{N: len(xs)}
+	if s.N == 0 {
+		return s
+	}
+	for _, x := range xs {
+		s.Mean += x
+	}
+	s.Mean /= float64(s.N)
+	if s.N == 1 {
+		return s
+	}
+	var ss float64
+	for _, x := range xs {
+		d := x - s.Mean
+		ss += d * d
+	}
+	s.Std = math.Sqrt(ss / float64(s.N-1))
+	s.CI95 = tCritical(s.N-1) * s.Std / math.Sqrt(float64(s.N))
+	return s
+}
+
+// AggregateCell reduces a complete cell's repeats to per-metric
+// statistics. Repeats are indexed, not ordered by completion, so the
+// aggregate is independent of worker scheduling and of how many runs were
+// resumed from artifacts.
+func AggregateCell(c *CellResult) Aggregate {
+	agg := make(Aggregate, len(Metrics))
+	xs := make([]float64, 0, len(c.Repeats))
+	for _, name := range Metrics {
+		xs = xs[:0]
+		for _, r := range c.Repeats {
+			if r != nil {
+				xs = append(xs, MetricValue(r.Report, name))
+			}
+		}
+		agg[name] = NewStat(xs)
+	}
+	return agg
+}

@@ -1,0 +1,244 @@
+package sweepfarm
+
+// Paper-ready output renderers. All three consume a Result and emit only
+// its complete cells in plan order, so output is deterministic across
+// worker scheduling and across interrupted-then-resumed runs — the
+// property the resume tests pin byte for byte.
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteGroupedCSV emits one row per complete cell with repeat count and
+// mean/std/ci95 columns for every aggregated metric — the statistical
+// counterpart of the single-run experiments CSV.
+func WriteGroupedCSV(w io.Writer, res *Result) error {
+	cw := csv.NewWriter(w)
+	header := []string{"app", "prefetcher", "variant", "repeats"}
+	for _, m := range Metrics {
+		header = append(header, m+"_mean", m+"_std", m+"_ci95")
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	f := func(v float64) string { return strconv.FormatFloat(v, 'f', 6, 64) }
+	for _, c := range res.Cells {
+		if !c.Complete() {
+			continue
+		}
+		row := []string{c.Key.App, c.Key.Prefetcher, c.Key.Variant, strconv.Itoa(len(c.Repeats))}
+		for _, m := range Metrics {
+			st := c.Agg[m]
+			row = append(row, f(st.Mean), f(st.Std), f(st.CI95))
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return fmt.Errorf("sweepfarm: csv: %w", err)
+	}
+	return nil
+}
+
+// WriteLaTeX renders one metric as a LaTeX tabular per variant: rows are
+// apps, columns prefetchers, each entry $mean \pm ci$ (the ± term is
+// omitted for single-repeat grids).
+func WriteLaTeX(w io.Writer, res *Result, metric string) error {
+	known := false
+	for _, m := range Metrics {
+		if m == metric {
+			known = true
+			break
+		}
+	}
+	if !known {
+		return fmt.Errorf("sweepfarm: unknown metric %q (have %s)", metric, strings.Join(Metrics, ", "))
+	}
+	for _, v := range res.Grid.Variants {
+		rows, pfs := variantGrid(res, v.Name)
+		if len(rows) == 0 {
+			continue
+		}
+		label := metric
+		if v.Name != "" {
+			label += ", variant " + v.Name
+		}
+		fmt.Fprintf(w, "%% sweep farm: %s (R=%d, 95%% CI, Student-t)\n", label, res.Grid.Repeats)
+		fmt.Fprintf(w, "\\begin{tabular}{l%s}\n\\hline\n", strings.Repeat("r", len(pfs)))
+		fmt.Fprintf(w, "app")
+		for _, pf := range pfs {
+			fmt.Fprintf(w, " & %s", latexEscape(pf))
+		}
+		fmt.Fprintf(w, " \\\\\n\\hline\n")
+		for _, app := range rows {
+			fmt.Fprintf(w, "%s", latexEscape(app))
+			for _, pf := range pfs {
+				c := findCell(res, CellKey{App: app, Prefetcher: pf, Variant: v.Name})
+				st := c.Agg[metric]
+				if st.N > 1 {
+					fmt.Fprintf(w, " & $%.4g \\pm %.2g$", st.Mean, st.CI95)
+				} else {
+					fmt.Fprintf(w, " & $%.4g$", st.Mean)
+				}
+			}
+			fmt.Fprintf(w, " \\\\\n")
+		}
+		fmt.Fprintf(w, "\\hline\n\\end{tabular}\n")
+	}
+	return nil
+}
+
+// TableHitRate prints the Figure 7-style SC hit-rate table, annotated with
+// the 95 % confidence half-interval when the grid ran more than one repeat.
+func TableHitRate(w io.Writer, res *Result) {
+	farmTable(w, res, "Figure 7 (farm): SC hit rate", "hit_rate",
+		func(st Stat) string { return pmPercent(st, 1) })
+}
+
+// TableAMAT prints the Figure 8-style AMAT table with ±CI annotation.
+func TableAMAT(w io.Writer, res *Result) {
+	farmTable(w, res, "Figure 8 (farm): AMAT (cycles)", "amat_cycles",
+		func(st Stat) string { return pmPlain(st, 1) })
+}
+
+// TablePower prints the Figure 10-style memory-power overhead vs the
+// no-prefetcher baseline. Each repeat's overhead is computed against the
+// matching repeat of the "none" cell (same repeat index, hence the same
+// derived workload seed), and the statistics summarise those paired
+// ratios. Cells without a complete "none" baseline are skipped.
+func TablePower(w io.Writer, res *Result) {
+	for _, v := range res.Grid.Variants {
+		rows, pfs := variantGrid(res, v.Name)
+		var cols []string
+		for _, pf := range pfs {
+			if pf != "none" {
+				cols = append(cols, pf)
+			}
+		}
+		if len(rows) == 0 || len(cols) == len(pfs) {
+			continue // nothing complete, or no baseline in the grid
+		}
+		farmHeader(w, res, "Figure 10 (farm): memory power overhead vs none", v.Name, cols)
+		for _, app := range rows {
+			base := findCell(res, CellKey{App: app, Prefetcher: "none", Variant: v.Name})
+			fmt.Fprintf(w, "%-6s", app)
+			for _, pf := range cols {
+				c := findCell(res, CellKey{App: app, Prefetcher: pf, Variant: v.Name})
+				var ratios []float64
+				for i := range c.Repeats {
+					if i >= len(base.Repeats) {
+						break
+					}
+					b := MetricValue(base.Repeats[i].Report, "energy_uj")
+					e := MetricValue(c.Repeats[i].Report, "energy_uj")
+					if b != 0 {
+						ratios = append(ratios, (e-b)/b)
+					}
+				}
+				st := NewStat(ratios)
+				if st.N > 1 {
+					fmt.Fprintf(w, "%14s", fmt.Sprintf("%+.1f±%.1f%%", 100*st.Mean, 100*st.CI95))
+				} else {
+					fmt.Fprintf(w, "%14s", fmt.Sprintf("%+.1f%%", 100*st.Mean))
+				}
+			}
+			fmt.Fprintln(w)
+		}
+	}
+}
+
+// farmTable renders one metric per variant in the fixed-width text style
+// of the experiments figures.
+func farmTable(w io.Writer, res *Result, title, metric string, render func(Stat) string) {
+	for _, v := range res.Grid.Variants {
+		rows, pfs := variantGrid(res, v.Name)
+		if len(rows) == 0 {
+			continue
+		}
+		farmHeader(w, res, title, v.Name, pfs)
+		for _, app := range rows {
+			fmt.Fprintf(w, "%-6s", app)
+			for _, pf := range pfs {
+				c := findCell(res, CellKey{App: app, Prefetcher: pf, Variant: v.Name})
+				fmt.Fprintf(w, "%14s", render(c.Agg[metric]))
+			}
+			fmt.Fprintln(w)
+		}
+	}
+}
+
+func farmHeader(w io.Writer, res *Result, title, variant string, cols []string) {
+	if variant != "" {
+		title += " @" + variant
+	}
+	if res.Grid.Repeats > 1 {
+		title += fmt.Sprintf(" — mean ± 95%% CI over R=%d seeded repeats", res.Grid.Repeats)
+	}
+	fmt.Fprintf(w, "\n== %s ==\n", title)
+	fmt.Fprintf(w, "%-6s", "app")
+	for _, c := range cols {
+		fmt.Fprintf(w, "%14s", c)
+	}
+	fmt.Fprintln(w)
+}
+
+// variantGrid lists the apps (row order) and prefetchers (column order)
+// that have complete cells in the named variant, preserving plan order.
+func variantGrid(res *Result, variant string) (apps, pfs []string) {
+	haveApp := map[string]bool{}
+	havePF := map[string]bool{}
+	for _, c := range res.Cells {
+		if c.Key.Variant != variant || !c.Complete() {
+			continue
+		}
+		if !haveApp[c.Key.App] {
+			haveApp[c.Key.App] = true
+			apps = append(apps, c.Key.App)
+		}
+		if !havePF[c.Key.Prefetcher] {
+			havePF[c.Key.Prefetcher] = true
+			pfs = append(pfs, c.Key.Prefetcher)
+		}
+	}
+	return apps, pfs
+}
+
+// findCell returns the planned cell for a key; never nil for keys obtained
+// from variantGrid.
+func findCell(res *Result, key CellKey) *CellResult {
+	for _, c := range res.Cells {
+		if c.Key == key {
+			return c
+		}
+	}
+	return &CellResult{Key: key, Agg: Aggregate{}}
+}
+
+func pmPercent(st Stat, prec int) string {
+	if st.N > 1 {
+		return fmt.Sprintf("%.*f±%.*f%%", prec, 100*st.Mean, prec, 100*st.CI95)
+	}
+	return fmt.Sprintf("%.*f%%", prec, 100*st.Mean)
+}
+
+func pmPlain(st Stat, prec int) string {
+	if st.N > 1 {
+		return fmt.Sprintf("%.*f±%.*f", prec, st.Mean, prec, st.CI95)
+	}
+	return fmt.Sprintf("%.*f", prec, st.Mean)
+}
+
+// latexEscape protects the characters that appear in prefetcher and app
+// names (underscores from sanitized keys, & just in case).
+func latexEscape(s string) string {
+	s = strings.ReplaceAll(s, "_", `\_`)
+	s = strings.ReplaceAll(s, "&", `\&`)
+	s = strings.ReplaceAll(s, "%", `\%`)
+	return s
+}
