@@ -17,7 +17,18 @@
 // then gated against that benchmark's measured req/s in the same run rather
 // than the pinned absolute — the host-independent way to bound an overhead,
 // used to keep event tracing (EngineStepTraced) within 10% of the untraced
-// engine (see docs/TRACING.md).
+// engine (see docs/TRACING.md) and telemetry (EngineStepTelemetry) within
+// 10% as well (see docs/OBSERVABILITY.md).
+//
+// With -repeats the -count samples are treated as seeded repeats: each
+// benchmark reduces to its mean ± 95 % confidence half-interval (Student-t,
+// the sweep farm's statistics) instead of the median, and a gate only fails
+// when the whole band clears the threshold — mean + CI95 below a req/s
+// floor, mean − CI95 above an allocs/op ceiling. One noisy sample on a
+// loaded CI host widens the band instead of failing the build:
+//
+//	go test -bench=EngineStep -benchmem -count=5 -run='^$' ./internal/sim/ | tee bench.txt
+//	go run ./cmd/benchguard -bench bench.txt -baseline BENCH_baseline.json -repeats
 package main
 
 import (
@@ -30,6 +41,8 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+
+	"repro/internal/sweepfarm"
 )
 
 type baselineEntry struct {
@@ -57,10 +70,15 @@ type baseline struct {
 	Benchmarks map[string]baselineEntry `json:"benchmarks"`
 }
 
-// result is one benchmark's medians across -count runs.
+// result is one benchmark's reduction across -count runs: the median point
+// estimate by default, or — under -repeats — the mean with its 95 %
+// confidence half-intervals (zero CI fields mean "point estimate", which
+// degrades every band gate to the exact point comparison).
 type result struct {
 	ReqPerS     float64
 	AllocsPerOp float64
+	ReqCI95     float64
+	AllocsCI95  float64
 	samples     int
 }
 
@@ -69,6 +87,7 @@ func main() {
 	basePath := flag.String("baseline", "BENCH_baseline.json", "pinned reference numbers")
 	maxSlowdown := flag.Float64("max-slowdown", 0.10, "fail when req/s drops below baseline by more than this fraction")
 	maxAllocGrowth := flag.Float64("max-alloc-growth", 0.15, "fail when allocs/op exceeds baseline by more than this fraction")
+	repeats := flag.Bool("repeats", false, "treat the -count samples as seeded repeats: reduce each benchmark by mean instead of median and gate on the mean±CI95 band (Student-t, the sweep farm's statistics) so one noisy sample widens the interval instead of failing the build")
 	flag.Parse()
 
 	base, err := readBaseline(*basePath)
@@ -80,7 +99,7 @@ func main() {
 		fatal(err)
 	}
 	defer f.Close()
-	results, err := parseBench(f)
+	results, err := parseBench(f, *repeats)
 	if err != nil {
 		fatal(err)
 	}
@@ -100,7 +119,7 @@ func main() {
 	fmt.Println("benchguard: all benchmarks within tolerance")
 }
 
-// compare checks every pinned benchmark against the measured medians and
+// compare checks every pinned benchmark against the measured reductions and
 // returns the human-readable report lines plus the list of failures. Zero
 // baselines get explicit semantics instead of vanishing into ratio
 // arithmetic: a 0 allocs/op baseline means "this path must stay
@@ -108,6 +127,14 @@ func main() {
 // zero would either pass everything or divide to Inf/NaN); a 0 req/s
 // baseline cannot express a meaningful slowdown bound, so the benchmark is
 // reported as unpinned-for-throughput rather than silently passing.
+//
+// Results carrying confidence half-intervals (the -repeats reduction) are
+// gated on the band edge nearest the pass region: req/s fails only when
+// mean + CI95 is still below the floor, allocs/op only when mean − CI95 is
+// still above the ceiling. Point estimates have zero-width bands, so the
+// gates reduce to the plain comparisons. The allocation-free pin stays
+// strict either way — a zero-alloc path that allocates has regressed no
+// matter how noisy the timing was.
 func compare(base baseline, results map[string]result, maxSlowdown, maxAllocGrowth float64) (lines, failures []string) {
 	names := make([]string, 0, len(base.Benchmarks))
 	for name := range base.Benchmarks {
@@ -145,18 +172,18 @@ func compare(base baseline, results map[string]result, maxSlowdown, maxAllocGrow
 				failures = append(failures, fmt.Sprintf("%s: relative baseline %s has unusable req/s %v",
 					name, want.RelativeTo, ref.ReqPerS))
 				status = "FAIL"
-			case got.ReqPerS < ref.ReqPerS*(1-slowdown):
-				failures = append(failures, fmt.Sprintf("%s: req/s %.0f is %.1f%% below %s's %.0f (overhead limit %.0f%%)",
-					name, got.ReqPerS, 100*(1-got.ReqPerS/ref.ReqPerS), want.RelativeTo, ref.ReqPerS, 100*slowdown))
+			case got.ReqPerS+got.ReqCI95 < ref.ReqPerS*(1-slowdown):
+				failures = append(failures, fmt.Sprintf("%s: req/s %.0f%s is %.1f%% below %s's %.0f (overhead limit %.0f%%)",
+					name, got.ReqPerS, bandSuffix(got.ReqCI95), 100*(1-got.ReqPerS/ref.ReqPerS), want.RelativeTo, ref.ReqPerS, 100*slowdown))
 				status = "FAIL"
 			default:
 				status = fmt.Sprintf("ok (%.1f%% vs %s)", 100*(1-got.ReqPerS/ref.ReqPerS), want.RelativeTo)
 			}
 		case want.ReqPerS == 0:
 			status = "no req/s pin"
-		case got.ReqPerS < want.ReqPerS*(1-slowdown):
-			failures = append(failures, fmt.Sprintf("%s: req/s %.0f is %.1f%% below baseline %.0f (limit %.0f%%)",
-				name, got.ReqPerS, 100*(1-got.ReqPerS/want.ReqPerS), want.ReqPerS, 100*slowdown))
+		case got.ReqPerS+got.ReqCI95 < want.ReqPerS*(1-slowdown):
+			failures = append(failures, fmt.Sprintf("%s: req/s %.0f%s is %.1f%% below baseline %.0f (limit %.0f%%)",
+				name, got.ReqPerS, bandSuffix(got.ReqCI95), 100*(1-got.ReqPerS/want.ReqPerS), want.ReqPerS, 100*slowdown))
 			status = "FAIL"
 		}
 		switch {
@@ -168,13 +195,13 @@ func compare(base baseline, results map[string]result, maxSlowdown, maxAllocGrow
 			failures = append(failures, fmt.Sprintf("%s: allocs/op %.0f on a pinned allocation-free baseline",
 				name, got.AllocsPerOp))
 			status = "FAIL"
-		case want.AllocsPerOp > 0 && got.AllocsPerOp > want.AllocsPerOp*(1+maxAllocGrowth):
-			failures = append(failures, fmt.Sprintf("%s: allocs/op %.0f is %.1f%% above baseline %.0f (limit %.0f%%)",
-				name, got.AllocsPerOp, 100*(got.AllocsPerOp/want.AllocsPerOp-1), want.AllocsPerOp, 100*maxAllocGrowth))
+		case want.AllocsPerOp > 0 && got.AllocsPerOp-got.AllocsCI95 > want.AllocsPerOp*(1+maxAllocGrowth):
+			failures = append(failures, fmt.Sprintf("%s: allocs/op %.0f%s is %.1f%% above baseline %.0f (limit %.0f%%)",
+				name, got.AllocsPerOp, bandSuffix(got.AllocsCI95), 100*(got.AllocsPerOp/want.AllocsPerOp-1), want.AllocsPerOp, 100*maxAllocGrowth))
 			status = "FAIL"
 		}
-		lines = append(lines, fmt.Sprintf("%-30s req/s %12.0f (base %12.0f)  allocs/op %8.0f (base %8.0f)  n=%d  %s",
-			name, got.ReqPerS, want.ReqPerS, got.AllocsPerOp, want.AllocsPerOp, got.samples, status))
+		lines = append(lines, fmt.Sprintf("%-30s req/s %12.0f%s (base %12.0f)  allocs/op %8.0f (base %8.0f)  n=%d  %s",
+			name, got.ReqPerS, bandSuffix(got.ReqCI95), want.ReqPerS, got.AllocsPerOp, want.AllocsPerOp, got.samples, status))
 	}
 	extra := make([]string, 0, len(results))
 	for name := range results {
@@ -206,11 +233,22 @@ func readBaseline(path string) (baseline, error) {
 	return b, nil
 }
 
-// parseBench extracts per-benchmark medians from `go test -bench` output.
+// bandSuffix renders a "±CI" suffix for results that carry a confidence
+// half-interval, and nothing for point estimates.
+func bandSuffix(ci float64) string {
+	if ci <= 0 {
+		return ""
+	}
+	return fmt.Sprintf("±%.0f", ci)
+}
+
+// parseBench extracts per-benchmark reductions from `go test -bench` output.
 // Each line is "BenchmarkName-P  N  <value unit>...": the GOMAXPROCS suffix
 // and the Benchmark prefix are stripped so names match the baseline keys,
-// and repeated lines (-count) are reduced by median per metric.
-func parseBench(r interface{ Read([]byte) (int, error) }) (map[string]result, error) {
+// and repeated lines (-count) are reduced by median per metric — or, when
+// banded, by mean plus the Student-t 95 % confidence half-interval
+// (sweepfarm.NewStat, the same statistics the sweep farm reports).
+func parseBench(r interface{ Read([]byte) (int, error) }, banded bool) (map[string]result, error) {
 	type samples struct{ req, allocs []float64 }
 	acc := map[string]*samples{}
 	sc := bufio.NewScanner(r)
@@ -249,7 +287,16 @@ func parseBench(r interface{ Read([]byte) (int, error) }) (map[string]result, er
 	}
 	out := make(map[string]result, len(acc))
 	for name, s := range acc {
-		out[name] = result{ReqPerS: median(s.req), AllocsPerOp: median(s.allocs), samples: len(s.req)}
+		if banded {
+			req, allocs := sweepfarm.NewStat(s.req), sweepfarm.NewStat(s.allocs)
+			out[name] = result{
+				ReqPerS: req.Mean, ReqCI95: req.CI95,
+				AllocsPerOp: allocs.Mean, AllocsCI95: allocs.CI95,
+				samples: len(s.req),
+			}
+		} else {
+			out[name] = result{ReqPerS: median(s.req), AllocsPerOp: median(s.allocs), samples: len(s.req)}
+		}
 	}
 	if len(out) == 0 {
 		return nil, fmt.Errorf("no benchmark lines found")

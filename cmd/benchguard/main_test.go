@@ -18,7 +18,7 @@ ok  	repro/internal/sim	10.0s
 `
 
 func TestParseBenchMedians(t *testing.T) {
-	res, err := parseBench(strings.NewReader(benchOut))
+	res, err := parseBench(strings.NewReader(benchOut), false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -42,8 +42,76 @@ func TestParseBenchMedians(t *testing.T) {
 }
 
 func TestParseBenchEmpty(t *testing.T) {
-	if _, err := parseBench(strings.NewReader("PASS\n")); err == nil {
+	if _, err := parseBench(strings.NewReader("PASS\n"), false); err == nil {
 		t.Fatal("empty bench output accepted")
+	}
+}
+
+// TestParseBenchBanded: the -repeats reduction is the mean with a Student-t
+// 95% half-interval per metric; a single-sample benchmark keeps a zero-width
+// band (N=1 has no dispersion estimate) and so gates exactly like a point.
+func TestParseBenchBanded(t *testing.T) {
+	res, err := parseBench(strings.NewReader(benchOut), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	step := res["EngineStep"]
+	if step.ReqPerS != 2_300_000 {
+		t.Errorf("mean req/s = %v, want 2300000", step.ReqPerS)
+	}
+	// Samples 2.2e6/2.3e6/2.4e6: std = 1e5, CI95 = 4.303·1e5/√3 ≈ 248435.
+	if step.ReqCI95 < 240_000 || step.ReqCI95 > 260_000 {
+		t.Errorf("req/s CI95 = %v, want ≈248435", step.ReqCI95)
+	}
+	if step.AllocsPerOp != 15_200 || step.AllocsCI95 <= 0 {
+		t.Errorf("allocs band = %v±%v, want mean 15200 with a positive CI", step.AllocsPerOp, step.AllocsCI95)
+	}
+	par := res["EngineStepParallel"]
+	if par.ReqCI95 != 0 || par.AllocsCI95 != 0 {
+		t.Errorf("single-sample bands = %+v, want zero-width", par)
+	}
+}
+
+// TestCompareBanded: with a confidence band, a gate fires only when the
+// whole band clears the threshold — a mean just under the req/s floor whose
+// band reaches back over it passes, a band entirely below fails, and the
+// allocation ceiling mirrors that on the lower band edge. The
+// allocation-free pin ignores the band: a zero-alloc path that allocates
+// has regressed regardless of noise.
+func TestCompareBanded(t *testing.T) {
+	base := baseline{Benchmarks: map[string]baselineEntry{
+		"EngineStep": {ReqPerS: 2_000_000, AllocsPerOp: 100},
+	}}
+	// Mean 4% below the 10% floor, band wide enough to reach it: pass.
+	results := map[string]result{
+		"EngineStep": {ReqPerS: 1_730_000, ReqCI95: 100_000, AllocsPerOp: 100, samples: 5},
+	}
+	if _, failures := compare(base, results, 0.10, 0.15); len(failures) != 0 {
+		t.Fatalf("band overlapping the floor failed: %v", failures)
+	}
+	// Whole band below the floor: fail, and the message shows the band.
+	results["EngineStep"] = result{ReqPerS: 1_730_000, ReqCI95: 50_000, AllocsPerOp: 100, samples: 5}
+	_, failures := compare(base, results, 0.10, 0.15)
+	if len(failures) != 1 || !strings.Contains(failures[0], "±50000") {
+		t.Fatalf("band fully below the floor not caught: %v", failures)
+	}
+	// Allocs mean above the ceiling but band reaching under it: pass; band
+	// fully above: fail.
+	results["EngineStep"] = result{ReqPerS: 2_000_000, AllocsPerOp: 118, AllocsCI95: 5, samples: 5}
+	if _, failures := compare(base, results, 0.10, 0.15); len(failures) != 0 {
+		t.Fatalf("alloc band overlapping the ceiling failed: %v", failures)
+	}
+	results["EngineStep"] = result{ReqPerS: 2_000_000, AllocsPerOp: 130, AllocsCI95: 5, samples: 5}
+	if _, failures := compare(base, results, 0.10, 0.15); len(failures) != 1 {
+		t.Fatalf("alloc band fully above the ceiling not caught: %v", failures)
+	}
+	// Allocation-free pin stays strict under a band.
+	base.Benchmarks["HotPath"] = baselineEntry{AllocsPerOp: 0}
+	results["HotPath"] = result{AllocsPerOp: 1, AllocsCI95: 3, samples: 5}
+	results["EngineStep"] = result{ReqPerS: 2_000_000, AllocsPerOp: 100, samples: 5}
+	_, failures = compare(base, results, 0.10, 0.15)
+	if len(failures) != 1 || !strings.Contains(failures[0], "allocation-free") {
+		t.Fatalf("banded allocation-free violation not caught: %v", failures)
 	}
 }
 

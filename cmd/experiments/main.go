@@ -15,6 +15,7 @@
 //	experiments -run fig8 -sample-every 50000 -json fig8.json
 //	experiments -validate-artifact out.json          # parse + validate, exit
 //	experiments -validate-trace run.trace.json       # parse + validate a Chrome trace, exit
+//	experiments -validate-metrics scrape.prom        # parse + validate a /metrics scrape, exit
 //	experiments -run all -debug-addr localhost:6060  # live progress + pprof while the sweep runs
 //
 // Sweep farm (see EXPERIMENTS.md, "Sweep farm"): -repeats > 1 or -grid
@@ -34,6 +35,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"os"
 	"os/signal"
 	"strings"
@@ -46,7 +48,13 @@ import (
 	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/sweepfarm"
+	"repro/internal/telemetry"
 )
+
+// logger is the process-wide structured logger; replaced right after flag
+// parsing with one honoring -log-level/-log-json. The default keeps fail()
+// usable for flag-validation errors that fire before the replacement.
+var logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
 
 func main() {
 	n := flag.Int("n", 800_000, "requests per application trace")
@@ -62,13 +70,23 @@ func main() {
 	memprofile := flag.String("memprofile", "", "write a heap profile (runtime/pprof) to this path")
 	validate := flag.String("validate-artifact", "", "read and validate the JSON artifact at this path, then exit (CI smoke check)")
 	validateTrace := flag.String("validate-trace", "", "read and validate the Chrome trace-event JSON at this path, then exit (CI smoke check)")
+	validateMetrics := flag.String("validate-metrics", "", "read and validate the Prometheus text exposition at this path (a saved /metrics scrape), then exit (CI smoke check)")
 	debugAddr := flag.String("debug-addr", "", "serve live sweep introspection (progress, expvar, pprof) on this address, e.g. localhost:6060")
 	extraPF := flag.String("extra-pf", "", "comma-separated extra prefetchers added to the fig7/csv sweep set, e.g. planaria-tournament (see sim.PrefetcherNames)")
 	repeats := flag.Int("repeats", 1, "seeded repeats per sweep cell; values > 1 run the resumable sweep farm and report mean ± 95% CI (see EXPERIMENTS.md)")
 	gridPath := flag.String("grid", "", "JSON grid spec (apps × prefetchers × variants × repeats) run on the sweep farm; overrides -run")
 	csvOut := flag.String("csv", "", "farm mode: write the grouped statistics CSV (mean/std/ci95 per metric) to this path")
 	latexOut := flag.String("latex", "", "farm mode: write LaTeX hit-rate and AMAT tables to this path")
+	logLevel := flag.String("log-level", "info", "minimum structured-log level on stderr: debug, info, warn or error")
+	logJSON := flag.Bool("log-json", false, "emit structured logs as JSON lines instead of key=value text")
 	flag.Parse()
+
+	level, lerr := telemetry.ParseLevel(*logLevel)
+	if lerr != nil {
+		fail(lerr)
+	}
+	logger = telemetry.NewLogger(os.Stderr, level, *logJSON).
+		With("tool", "experiments", "run_id", telemetry.NewRunID())
 
 	var extras []string
 	if *extraPF != "" {
@@ -107,6 +125,19 @@ func main() {
 		fmt.Printf("%s: valid (%d trace events)\n", *validateTrace, n)
 		return
 	}
+	if *validateMetrics != "" {
+		f, err := os.Open(*validateMetrics)
+		if err != nil {
+			fail(err)
+		}
+		err = telemetry.ValidateExposition(f)
+		f.Close()
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("%s: valid Prometheus text exposition\n", *validateMetrics)
+		return
+	}
 
 	if *cpuprofile != "" {
 		stop, err := obs.StartCPUProfile(*cpuprofile)
@@ -142,7 +173,7 @@ func main() {
 			fail(derr)
 		}
 		defer d.Close()
-		fmt.Fprintf(os.Stderr, "experiments: debug endpoint on http://%s/\n", d.Addr())
+		logger.Info("debug endpoint ready", "url", "http://"+d.Addr()+"/")
 	}
 	w := os.Stdout
 
@@ -368,6 +399,6 @@ func writeFarmFile(path string, write func(io.Writer) error) error {
 }
 
 func fail(err error) {
-	fmt.Fprintln(os.Stderr, "experiments:", err)
+	logger.Error(err.Error())
 	os.Exit(1)
 }

@@ -17,6 +17,12 @@
 //
 //	planaria-sim -app CFM -pf planaria -trace-out run.trace.json -attrib
 //	planaria-sim -app CFM -pf planaria -progress -debug-addr localhost:6060
+//
+// Live telemetry and structured logging (see docs/OBSERVABILITY.md):
+//
+//	planaria-sim -app CFM -pf planaria -telemetry -json out.json  # report carries the telemetry summary
+//	planaria-sim -app CFM -pf planaria -debug-addr :6060          # Prometheus text format at /metrics
+//	planaria-sim -app CFM -pf planaria -log-level debug -log-json
 package main
 
 import (
@@ -24,6 +30,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"os/signal"
 	"sync"
@@ -33,9 +40,15 @@ import (
 	"repro/internal/events"
 	"repro/internal/obs"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 	"repro/internal/workloads"
 )
+
+// logger is the process-wide structured logger; replaced right after flag
+// parsing with one honoring -log-level/-log-json. The default keeps fatal()
+// usable for flag-validation errors that fire before the replacement.
+var logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
 
 func main() {
 	app := flag.String("app", "CFM", "catalog application abbreviation (see Table 2)")
@@ -56,9 +69,28 @@ func main() {
 	memprofile := flag.String("memprofile", "", "write a heap profile (runtime/pprof) to this path")
 	traceOut := flag.String("trace-out", "", "record decision events and write a Chrome trace-event JSON (Perfetto-loadable) to this path")
 	attrib := flag.Bool("attrib", false, "record decision events and print the per-prefetcher attribution table")
-	debugAddr := flag.String("debug-addr", "", "serve live run introspection (progress, attribution, expvar, pprof) on this address, e.g. localhost:6060")
+	debugAddr := flag.String("debug-addr", "", "serve live run introspection (progress, attribution, metrics, expvar, pprof) on this address, e.g. localhost:6060")
 	progress := flag.Bool("progress", false, "print a one-line progress report to stderr every second")
+	telemetryOn := flag.Bool("telemetry", false, "enable live metrics instruments (latency histograms, per-component counters); implied by -debug-addr and -progress unless set explicitly; adds the telemetry summary to reports and -json artifacts (docs/OBSERVABILITY.md)")
+	logLevel := flag.String("log-level", "info", "minimum structured-log level on stderr: debug, info, warn or error")
+	logJSON := flag.Bool("log-json", false, "emit structured logs as JSON lines instead of key=value text")
 	flag.Parse()
+
+	level, lerr := telemetry.ParseLevel(*logLevel)
+	if lerr != nil {
+		fatal(lerr)
+	}
+	logger = telemetry.NewLogger(os.Stderr, level, *logJSON).
+		With("tool", "planaria-sim", "run_id", telemetry.NewRunID())
+
+	// -debug-addr (/metrics) and -progress (live p99) both want the
+	// instruments; an explicit -telemetry flag — either value — wins.
+	enableTelemetry := *telemetryOn || *debugAddr != "" || *progress
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "telemetry" {
+			enableTelemetry = *telemetryOn
+		}
+	})
 
 	// Build the record stream: from a binary trace file (never materialized
 	// when -stream; the file's size declares the record count so warmup
@@ -156,6 +188,11 @@ func main() {
 		counters.SetTotal(int64(records))
 		cfg.Counters = counters
 	}
+	var reg *telemetry.Registry
+	if enableTelemetry {
+		reg = telemetry.NewRegistry()
+		cfg.Telemetry = reg
+	}
 	eng := sim.New(cfg)
 
 	var debug *obs.DebugServer
@@ -163,6 +200,7 @@ func main() {
 		d, err := obs.StartDebugServer(*debugAddr, obs.DebugConfig{
 			Counters:   counters,
 			Recorder:   eng.Events(),
+			Telemetry:  reg,
 			Tool:       "planaria-sim",
 			Workload:   name,
 			Prefetcher: eng.PrefetcherName(),
@@ -172,7 +210,7 @@ func main() {
 		}
 		debug = d
 		defer debug.Close()
-		fmt.Fprintf(os.Stderr, "planaria-sim: debug endpoint on http://%s/\n", debug.Addr())
+		logger.Info("debug endpoint ready", "url", "http://"+debug.Addr()+"/")
 	}
 	var stopProgress func()
 	if *progress {
@@ -220,8 +258,8 @@ func main() {
 		if errors.Is(err, context.Canceled) {
 			reason = "interrupted"
 		}
-		fmt.Fprintf(os.Stderr, "planaria-sim: run %s: %v\nplanaria-sim: partial report covers records before position %d\n",
-			reason, err, rep.FailedAt)
+		logger.Error("run "+reason+"; partial report covers records before the failure position",
+			"err", err, "failed_at", rep.FailedAt)
 	}
 
 	fmt.Print(rep)
@@ -280,8 +318,10 @@ func main() {
 	}
 }
 
-// startProgressPrinter prints a one-line progress report to stderr every
-// second. The returned stop function is idempotent.
+// startProgressPrinter logs a one-line progress report every second: records
+// done, live req/s and — on telemetry-enabled runs — the live p99 demand read
+// latency from the merged DRAM histogram. The returned stop function is
+// idempotent.
 func startProgressPrinter(c *events.RunCounters) func() {
 	done := make(chan struct{})
 	finished := make(chan struct{})
@@ -295,13 +335,20 @@ func startProgressPrinter(c *events.RunCounters) func() {
 				return
 			case <-tick.C:
 				p := c.Progress()
-				if p.Total > 0 {
-					fmt.Fprintf(os.Stderr, "planaria-sim: %d/%d records (%.1f%%), %.0f req/s, ETA %.0fs\n",
-						p.Records, p.Total, 100*p.Fraction, p.ReqPerSec, p.ETASec)
-				} else {
-					fmt.Fprintf(os.Stderr, "planaria-sim: %d records, %.0f req/s\n",
-						p.Records, p.ReqPerSec)
+				attrs := []any{
+					"records", p.Records,
+					"req_per_s", int64(p.ReqPerSec),
 				}
+				if p.Total > 0 {
+					attrs = append(attrs,
+						"total", p.Total,
+						"pct", fmt.Sprintf("%.1f", 100*p.Fraction),
+						"eta_s", int64(p.ETASec))
+				}
+				if p.P99DemandLatCycles > 0 {
+					attrs = append(attrs, "p99_demand_lat_cycles", p.P99DemandLatCycles)
+				}
+				logger.Info("progress", attrs...)
 			}
 		}
 	}()
@@ -359,6 +406,6 @@ func writeChromeTrace(path string, eng *sim.Engine, workload string) error {
 }
 
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "planaria-sim:", err)
+	logger.Error(err.Error())
 	os.Exit(1)
 }

@@ -172,6 +172,14 @@ type Cache struct {
 	rrpv   []uint8  // SRRIP/DRRIP re-reference predictions
 	origin []uint8  // opaque caller origin tag of prefetched lines (0 = untagged)
 
+	// fillAt is the optional fill-timestamp lane behind the telemetry
+	// first-use-gap histogram: nil unless EnableFillStamps was called (so
+	// runs without telemetry allocate and touch nothing), it records the
+	// simulation cycle a prefetched line was filled at (via StampFill —
+	// the cache's own clock counts accesses, not cycles) until the line's
+	// first demand use reads it back through FillStamp.
+	fillAt []uint64
+
 	// DRRIP set-dueling state: psel > 0 favours bimodal insertion,
 	// ≤ 0 favours SRRIP insertion; brip counts fills for the 1-in-32
 	// near insertions of the bimodal policy.
@@ -212,6 +220,46 @@ func New(cfg Config) *Cache {
 
 // Config returns the cache's configuration.
 func (c *Cache) Config() Config { return c.cfg }
+
+// EnableFillStamps allocates the fill-timestamp lane read by FillStamp.
+// Idempotent; called once at engine construction when telemetry is
+// enabled. Without it, StampFill and FillStamp are no-ops.
+func (c *Cache) EnableFillStamps() {
+	if c.fillAt == nil {
+		c.fillAt = make([]uint64, c.nsets*c.ways)
+	}
+}
+
+// StampFill records that resident block b was filled at the given
+// simulation cycle. No-op when the block is absent or EnableFillStamps
+// was never called.
+func (c *Cache) StampFill(b addr.BlockNum, cycle uint64) {
+	if c.fillAt == nil {
+		return
+	}
+	set, tag := c.index(b)
+	base := int(set) * c.ways
+	if w := c.findWay(base, tag, c.valid[set]); w >= 0 {
+		c.fillAt[base+w] = cycle
+	}
+}
+
+// FillStamp returns and clears block b's fill-cycle stamp. ok is false
+// when the block is absent, was never stamped, or stamps are disabled.
+func (c *Cache) FillStamp(b addr.BlockNum) (cycle uint64, ok bool) {
+	if c.fillAt == nil {
+		return 0, false
+	}
+	set, tag := c.index(b)
+	base := int(set) * c.ways
+	w := c.findWay(base, tag, c.valid[set])
+	if w < 0 || c.fillAt[base+w] == 0 {
+		return 0, false
+	}
+	cycle = c.fillAt[base+w]
+	c.fillAt[base+w] = 0
+	return cycle, true
+}
 
 // Sets returns the number of sets.
 func (c *Cache) Sets() int { return c.nsets }
@@ -399,6 +447,9 @@ func (c *Cache) FillOrigin(b addr.BlockNum, prefetch, write bool, origin uint8) 
 	}
 	bit := uint64(1) << uint(victim)
 	c.tags[base+victim] = tag
+	if c.fillAt != nil {
+		c.fillAt[base+victim] = 0 // new occupant: drop the victim's stamp
+	}
 	c.valid[set] |= bit
 	if write {
 		c.dirty[set] |= bit
@@ -466,6 +517,9 @@ func (c *Cache) Invalidate(b addr.BlockNum) (wasDirty bool) {
 	c.stamp[base+w] = 0
 	c.rrpv[base+w] = 0
 	c.origin[base+w] = 0
+	if c.fillAt != nil {
+		c.fillAt[base+w] = 0
+	}
 	return wasDirty
 }
 

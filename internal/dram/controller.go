@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/addr"
+	"repro/internal/telemetry"
 )
 
 // Request is one block transfer handled by a channel controller. The engine
@@ -196,7 +197,37 @@ type Controller struct {
 	// requests are NOT recycled into the NewRequest freelist — the hook
 	// may retain the pointer.
 	TraceFn func(*Request)
+
+	// tel, when non-nil, receives live scrape-safe observations (atomic
+	// instruments, readable from other goroutines mid-run) in addition to
+	// the local Stats counters, which stay single-goroutine-owned. See
+	// SetTelemetry.
+	tel *Telemetry
 }
+
+// Telemetry is the controller's set of live instruments, registered by the
+// engine when telemetry is enabled (internal/telemetry). All fields may be
+// nil individually; the whole struct pointer is nil when telemetry is off,
+// and the hot path then pays exactly one pointer check per serviced
+// request.
+type Telemetry struct {
+	// DemandReadLatency observes each demand read's total service latency
+	// (queueing included) in cycles.
+	DemandReadLatency *telemetry.Histogram
+	// QueueDepth observes the controller queue occupancy at each Enqueue,
+	// before the new request is pushed.
+	QueueDepth *telemetry.Histogram
+	// RowHits/RowMisses/RowEmpty mirror the Stats row-buffer outcome
+	// counters as scrape-safe atomics.
+	RowHits   *telemetry.Counter
+	RowMisses *telemetry.Counter
+	RowEmpty  *telemetry.Counter
+}
+
+// SetTelemetry installs (or, with nil, removes) the controller's live
+// instruments. Call before the run starts; the controller never mutates
+// the struct.
+func (c *Controller) SetTelemetry(t *Telemetry) { c.tel = t }
 
 // NewController builds a channel controller; it panics on invalid timing
 // (construction-time programming error).
@@ -296,6 +327,9 @@ func (c *Controller) Enqueue(r *Request) error {
 	}
 	co := c.cfg.Geometry.Map(r.Block)
 	r.bank, r.row = co.Bank, co.Row
+	if c.tel != nil {
+		c.tel.QueueDepth.Record(uint64(c.qlen))
+	}
 	c.qpush(r)
 	arrival := r.Arrival
 	for c.qlen > c.cfg.Window ||
@@ -447,6 +481,16 @@ func (c *Controller) execute(r *Request) {
 	default:
 		c.stats.RowEmpty++
 	}
+	if c.tel != nil {
+		switch {
+		case rowHit:
+			c.tel.RowHits.Inc()
+		case hasRow:
+			c.tel.RowMisses.Inc()
+		default:
+			c.tel.RowEmpty.Inc()
+		}
+	}
 
 	if !rowHit {
 		if hasRow {
@@ -536,6 +580,9 @@ func (c *Controller) execute(r *Request) {
 			c.stats.DemandReads++
 			c.stats.TotalDemandReadLat += dataEnd - r.Arrival
 			c.stats.LatencyHist[latencyBucket(dataEnd-r.Arrival)]++
+			if c.tel != nil {
+				c.tel.DemandReadLatency.Record(dataEnd - r.Arrival)
+			}
 		}
 		r.IssueAt = cas
 		r.Done = dataEnd

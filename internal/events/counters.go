@@ -14,6 +14,12 @@ type RunCounters struct {
 	records atomic.Int64
 	total   atomic.Int64
 	start   atomic.Int64 // wall-clock start, UnixNano; 0 = not started
+
+	// latSrc optionally supplies a live p99 demand-latency reading for
+	// Progress snapshots (set by the engine when telemetry is enabled;
+	// see SetLatencySource). Stored as an atomic.Value so installing it
+	// races safely with concurrent Progress readers.
+	latSrc atomic.Value // func() (float64, bool)
 }
 
 // Start stamps the wall-clock start time (idempotent: only the first call
@@ -38,6 +44,17 @@ func (c *RunCounters) Store(n int64) { c.records.Store(n) }
 // Records returns the records processed so far.
 func (c *RunCounters) Records() int64 { return c.records.Load() }
 
+// SetLatencySource installs a live latency probe: f returns the current
+// p99 demand latency in cycles and whether a reading exists yet. Progress
+// calls it on every snapshot, so the -progress printer and the /progress
+// endpoint share one source (the telemetry registry's merged histogram).
+// A nil f is ignored. The probe must be safe to call from any goroutine.
+func (c *RunCounters) SetLatencySource(f func() (float64, bool)) {
+	if f != nil {
+		c.latSrc.Store(f)
+	}
+}
+
 // Progress is one self-describing progress snapshot, JSON-shaped for the
 // debug endpoint.
 type Progress struct {
@@ -47,6 +64,12 @@ type Progress struct {
 	ElapsedSec float64 `json:"elapsed_seconds"`
 	ReqPerSec  float64 `json:"req_per_s"`
 	ETASec     float64 `json:"eta_seconds,omitempty"` // remaining/req_per_s when total known
+
+	// P99DemandLatCycles is the live p99 demand read latency in cycles,
+	// present when a latency source was installed (telemetry-enabled
+	// runs; see RunCounters.SetLatencySource) and at least one demand
+	// read has been observed.
+	P99DemandLatCycles float64 `json:"p99_demand_lat_cycles,omitempty"`
 }
 
 // Progress returns the current progress snapshot.
@@ -65,6 +88,11 @@ func (c *RunCounters) Progress() Progress {
 		p.Fraction = float64(p.Records) / float64(p.Total)
 		if p.ReqPerSec > 0 && p.Total > p.Records {
 			p.ETASec = float64(p.Total-p.Records) / p.ReqPerSec
+		}
+	}
+	if f, ok := c.latSrc.Load().(func() (float64, bool)); ok {
+		if v, have := f(); have {
+			p.P99DemandLatCycles = v
 		}
 	}
 	return p

@@ -12,6 +12,7 @@ import (
 	"repro/internal/dram"
 	"repro/internal/power"
 	"repro/internal/prefetch"
+	"repro/internal/telemetry"
 )
 
 // Report is the result of one simulation run (one workload × one
@@ -63,6 +64,14 @@ type Report struct {
 	// sampling was enabled (sim.Config.SampleEvery*); nil otherwise. Its
 	// window counters sum exactly to the aggregates above.
 	Series *TimeSeries `json:"series,omitempty"`
+
+	// Telemetry is the run's live-metrics summary — counter totals and
+	// p50/p90/p99 + bucket vectors of every latency histogram — present
+	// when telemetry was enabled (sim.Config.Telemetry); nil otherwise
+	// (obs artifact schema v4). Unlike the aggregates above, it covers
+	// the whole run including warmup: instruments follow Prometheus
+	// counter semantics and are never reset mid-run.
+	Telemetry *telemetry.Summary `json:"telemetry,omitempty"`
 
 	// Truncated marks a partial report: the run ended early on a stream
 	// fault, a simulation error or a cancelled context, and the counters

@@ -23,9 +23,10 @@ import (
 	"time"
 
 	"repro/internal/events"
+	"repro/internal/telemetry"
 )
 
-// DebugConfig wires a DebugServer to a run's live state. Either source may
+// DebugConfig wires a DebugServer to a run's live state. Any source may
 // be nil: the corresponding endpoints then report "not enabled".
 type DebugConfig struct {
 	// Counters is the run's live progress state (records, req/s, ETA).
@@ -33,6 +34,9 @@ type DebugConfig struct {
 	// Recorder is the run's event recorder; its attribution snapshot is
 	// safe to take mid-run.
 	Recorder *events.Recorder
+	// Telemetry is the run's live metrics registry, served in Prometheus
+	// text exposition format at /metrics. Scrape-safe mid-run.
+	Telemetry *telemetry.Registry
 
 	// Labels echoed on the index page and in /progress.
 	Tool       string
@@ -62,6 +66,7 @@ func StartDebugServer(addr string, cfg DebugConfig) (*DebugServer, error) {
 	mux.HandleFunc("/", d.handleIndex)
 	mux.HandleFunc("/progress", d.handleProgress)
 	mux.HandleFunc("/attrib", d.handleAttrib)
+	mux.HandleFunc("/metrics", d.handleMetrics)
 	mux.Handle("/debug/vars", d.varsHandler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -94,6 +99,7 @@ func (d *DebugServer) handleIndex(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "%s %s/%s — live run introspection\n\n", d.cfg.Tool, d.cfg.Workload, d.cfg.Prefetcher)
 	fmt.Fprintln(w, "/progress      run progress (records, req/s, ETA) as JSON")
 	fmt.Fprintln(w, "/attrib        live prefetch-lifecycle attribution snapshot as JSON")
+	fmt.Fprintln(w, "/metrics       live metrics in Prometheus text exposition format")
 	fmt.Fprintln(w, "/debug/vars    expvar counters as JSON")
 	fmt.Fprintln(w, "/debug/pprof/  net/http/pprof profiling handlers")
 }
@@ -119,6 +125,30 @@ func (d *DebugServer) handleAttrib(w http.ResponseWriter, _ *http.Request) {
 		return
 	}
 	writeJSON(w, d.cfg.Recorder.Attrib())
+}
+
+// handleMetrics serves the run's registry in the Prometheus text
+// exposition format, appending run-progress families from the live
+// counters when available. Every read is an atomic snapshot, so scraping
+// mid-run never blocks the simulation.
+func (d *DebugServer) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	if d.cfg.Telemetry == nil && d.cfg.Counters == nil {
+		http.Error(w, "telemetry not enabled for this run", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := telemetry.WritePrometheus(w, d.cfg.Telemetry); err != nil {
+		return // client went away; nothing useful to do
+	}
+	if c := d.cfg.Counters; c != nil {
+		p := c.Progress()
+		fmt.Fprintf(w, "# HELP planaria_run_records_total Trace records processed so far.\n")
+		fmt.Fprintf(w, "# TYPE planaria_run_records_total counter\n")
+		fmt.Fprintf(w, "planaria_run_records_total %d\n", p.Records)
+		fmt.Fprintf(w, "# HELP planaria_run_req_per_s Live processing rate in records per second.\n")
+		fmt.Fprintf(w, "# TYPE planaria_run_req_per_s gauge\n")
+		fmt.Fprintf(w, "planaria_run_req_per_s %g\n", p.ReqPerSec)
+	}
 }
 
 // varsHandler builds the /debug/vars handler over a private expvar.Map (no

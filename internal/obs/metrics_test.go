@@ -1,0 +1,162 @@
+package obs
+
+// Tests for the /metrics endpoint: static serving semantics, and the real
+// mid-run concurrency pattern under -race — a live engine hammering the
+// sharded instruments while an HTTP client scrapes and validates the
+// exposition.
+
+import (
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/events"
+	"repro/internal/sim"
+	"repro/internal/telemetry"
+	"repro/internal/workloads"
+)
+
+// TestMetricsEndpoint pins the serving contract: a populated registry is
+// exposed in valid Prometheus text format with the run-progress families
+// appended from the counters; a counters-only server still serves the
+// progress families; a server with neither source 404s.
+func TestMetricsEndpoint(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	reg.Counter("test_ops_total", "Operations.").Add(42)
+	reg.Histogram("test_latency_cycles", "Latency.").Record(100)
+	counters := &events.RunCounters{}
+	counters.Start()
+	counters.Add(250)
+
+	d, err := StartDebugServer("127.0.0.1:0", DebugConfig{
+		Counters: counters, Telemetry: reg, Tool: "test",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+
+	resp, err := http.Get(fmt.Sprintf("http://%s/metrics", d.Addr()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Errorf("content type %q, want the 0.0.4 exposition version", ct)
+	}
+	body := getBody(t, d, "/metrics", http.StatusOK)
+	for _, want := range []string{
+		"test_ops_total 42",
+		"test_latency_cycles_count 1",
+		"planaria_run_records_total 250",
+		"planaria_run_req_per_s",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+	if err := telemetry.ValidateExposition(strings.NewReader(body)); err != nil {
+		t.Errorf("exposition invalid: %v", err)
+	}
+	if !strings.Contains(getBody(t, d, "/", http.StatusOK), "/metrics") {
+		t.Error("index missing /metrics")
+	}
+
+	// Counters-only: the progress families alone are still a valid payload.
+	d2, err := StartDebugServer("127.0.0.1:0", DebugConfig{Counters: counters})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	body2 := getBody(t, d2, "/metrics", http.StatusOK)
+	if err := telemetry.ValidateExposition(strings.NewReader(body2)); err != nil {
+		t.Errorf("counters-only exposition invalid: %v", err)
+	}
+
+	// Neither source: 404, like /progress and /attrib.
+	d3, err := StartDebugServer("127.0.0.1:0", DebugConfig{Tool: "bare"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d3.Close()
+	getBody(t, d3, "/metrics", http.StatusNotFound)
+}
+
+// TestMetricsScrapeLiveRun is the mid-run scrape pattern under -race: a
+// telemetry-enabled engine run in flight while an HTTP client scrapes
+// /metrics in a loop, validating every payload against the exposition
+// grammar. Engine workers record into the sharded instruments concurrently
+// with WritePrometheus snapshotting them.
+func TestMetricsScrapeLiveRun(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	counters := &events.RunCounters{}
+	counters.Start()
+
+	d, err := StartDebugServer("127.0.0.1:0", DebugConfig{
+		Counters: counters, Telemetry: reg, Tool: "live",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+
+	cfg := sim.DefaultConfig()
+	cfg.Telemetry = reg
+	cfg.Counters = counters
+	p := workloads.Catalog()[0]
+	const n = 400_000
+
+	var run sync.WaitGroup
+	run.Add(1)
+	runErr := make(chan error, 1)
+	finished := make(chan struct{})
+	go func() {
+		defer run.Done()
+		defer close(finished)
+		eng := sim.New(cfg)
+		if _, err := eng.RunStream(p.Stream(n), p.Abbr); err != nil {
+			runErr <- err
+		}
+	}()
+
+	// Scrape until the run completes (a fast host may only fit a scrape or
+	// two mid-run; the -race CI leg slows the run enough for many).
+	scrapes := 0
+	for done := false; !done; {
+		select {
+		case <-finished:
+			done = true
+		default:
+		}
+		body := getBody(t, d, "/metrics", http.StatusOK)
+		scrapes++
+		if err := telemetry.ValidateExposition(strings.NewReader(body)); err != nil {
+			t.Errorf("scrape %d invalid: %v", scrapes, err)
+		}
+	}
+	run.Wait()
+	select {
+	case err := <-runErr:
+		t.Fatal(err)
+	default:
+	}
+	if counters.Records() != n {
+		t.Fatalf("run processed %d records, want %d", counters.Records(), n)
+	}
+	// The final scrape must reflect the whole run.
+	body := getBody(t, d, "/metrics", http.StatusOK)
+	if !strings.Contains(body, "planaria_demand_reads_total") {
+		t.Error("final scrape missing demand read counters")
+	}
+	if v, ok := reg.Quantile(sim.MetricDRAMDemandReadLatency, 0.99); !ok || v <= 0 {
+		t.Errorf("p99 demand latency = %v, %v; want a positive live reading", v, ok)
+	}
+	if p := counters.Progress(); p.P99DemandLatCycles <= 0 {
+		t.Errorf("progress p99 = %v, want positive (latency source installed by the engine)", p.P99DemandLatCycles)
+	}
+}

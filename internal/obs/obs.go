@@ -23,10 +23,13 @@ import (
 // event-level attribution table (Artifact.Attribution) and the per-origin
 // late-hit breakdown inside reports; v3 adds repeat/seed/config-hash
 // provenance to the manifest (Repeat, ConfigHash — Seed predates v3) for
-// the sweep farm's repeated, resumable grids (internal/sweepfarm). Readers
+// the sweep farm's repeated, resumable grids (internal/sweepfarm); v4 adds
+// the optional telemetry summary inside reports (Report.Telemetry —
+// counter totals plus p50/p90/p99 histogram summaries from
+// internal/telemetry, present when the run enabled live metrics). Readers
 // accept any version in [1, SchemaVersion] — the additions are strictly
 // optional fields.
-const SchemaVersion = 3
+const SchemaVersion = 4
 
 // Manifest records the provenance of one run: everything needed to
 // reproduce the numbers in the artifact it accompanies.

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"repro/internal/events"
+	"repro/internal/telemetry"
 	"repro/internal/workloads"
 )
 
@@ -72,6 +73,38 @@ func BenchmarkEngineStepTraced(b *testing.B) {
 		}
 		cfg.NewPrefetcher = factory
 		cfg.Events = &events.Config{RingSize: events.DefaultRingSize}
+		eng := New(cfg)
+		if _, err := eng.Run(tr, p.Abbr); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(tr)*b.N)/b.Elapsed().Seconds(), "req/s")
+}
+
+// BenchmarkEngineStepTelemetry is the live-metrics overhead guard: the same
+// serial run as BenchmarkEngineStep with the telemetry registry enabled, so
+// every demand access bumps sharded atomic counters and every DRAM demand
+// read, queue push and prefetch lifecycle event records into a log₂
+// histogram. BENCH_baseline.json pins it with "relative_to": "EngineStep"
+// and tolerance 0.10, so cmd/benchguard fails CI when the instrumented run
+// falls more than 10% below the uninstrumented one — the overhead budget
+// docs/OBSERVABILITY.md promises. The plain benchmarks above double as the
+// telemetry-off transparency guard: their pinned allocs/op predate the
+// telemetry subsystem, so any allocation added to the disabled path trips
+// the existing absolute gates.
+func BenchmarkEngineStepTelemetry(b *testing.B) {
+	p := workloads.Catalog()[0]
+	tr := p.Generate(100_000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg := DefaultConfig()
+		factory, err := NamedPrefetcher("planaria")
+		if err != nil {
+			b.Fatal(err)
+		}
+		cfg.NewPrefetcher = factory
+		cfg.Telemetry = telemetry.NewRegistry()
 		eng := New(cfg)
 		if _, err := eng.Run(tr, p.Abbr); err != nil {
 			b.Fatal(err)

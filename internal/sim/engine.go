@@ -3,6 +3,7 @@ package sim
 import (
 	"fmt"
 	"runtime"
+	"strconv"
 
 	"repro/internal/addr"
 	"repro/internal/cache"
@@ -14,6 +15,7 @@ import (
 	"repro/internal/prefetch"
 	"repro/internal/prefetch/bop"
 	"repro/internal/prefetch/spp"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
 
@@ -96,6 +98,20 @@ type Config struct {
 	// chunk granularity from the streaming run paths (RunStream and the
 	// parallel workers) — the backing state of -progress and -debug-addr.
 	Counters *events.RunCounters
+
+	// Telemetry, when non-nil, enables live production metrics: the
+	// engine registers per-unit atomic counters and log₂-bucketed latency
+	// histograms on the registry (demand mix, prefetch timeliness, DRAM
+	// latency/queue/row-buffer, tournament component wins) and records
+	// into them from the hot paths. The registry is scrape-safe mid-run —
+	// it backs the -debug-addr /metrics handler — and its Summary lands
+	// in the report (Report.Telemetry). Instruments cover the whole run
+	// including warmup and are never reset (Prometheus counter
+	// semantics); the report aggregates remain measured-region-only. Nil
+	// disables everything: the hot path then pays one nil check per site,
+	// zero allocations, and the report is bit-identical to a run without
+	// telemetry (the events.Sink pattern).
+	Telemetry *telemetry.Registry
 }
 
 // DefaultConfig returns the paper's system: 4 × 1 MB 16-way SC slices,
@@ -237,6 +253,11 @@ type channelState struct {
 	ev       *events.ChannelSink
 	originEv []events.Origin
 
+	// tel holds this unit's telemetry instruments; nil when telemetry is
+	// disabled (Config.Telemetry), in which case every recording site
+	// below reduces to one pointer check.
+	tel *unitTelemetry
+
 	metaEvents uint64 // prefetcher table touches for the power model
 	scEvents   uint64 // SC lookups + fills
 
@@ -261,6 +282,82 @@ type originTracker interface {
 // originTracker, so prefetch.Prefetcher and the baselines stay untouched.
 type eventSinkSetter interface {
 	SetEventSink(events.Sink)
+}
+
+// telemetrySetter is implemented by prefetchers that expose their own live
+// instruments (the Tournament's per-component win counters and selector
+// scores). Discovered by type assertion, like eventSinkSetter.
+type telemetrySetter interface {
+	SetTelemetry(*telemetry.Registry, ...telemetry.Label)
+}
+
+// MetricDRAMDemandReadLatency is the telemetry family name of the DRAM
+// demand-read latency histogram — the distribution behind the progress
+// line's and /progress's live p99. Exported so tools can query
+// Registry.Quantile against the same family the engine records into.
+const MetricDRAMDemandReadLatency = "planaria_dram_demand_read_latency_cycles"
+
+// unitTelemetry is one execution unit's set of engine-level instruments,
+// registered on Config.Telemetry with channel/shard labels so hot-path
+// atomics stay uncontended (the events.RunCounters sharding pattern).
+// The DRAM controller's instruments are installed separately via
+// dram.Controller.SetTelemetry.
+type unitTelemetry struct {
+	demandReads  *telemetry.Counter
+	demandWrites *telemetry.Counter
+	demandHits   *telemetry.Counter
+	demandMisses *telemetry.Counter
+	prefIssued   *telemetry.Counter
+	lateHits     *telemetry.Counter
+	lateWait     *telemetry.Histogram // cycles a late demand waited on an in-flight prefetch
+	firstUseGap  *telemetry.Histogram // cycles between a prefetch fill and its first demand use
+}
+
+// newUnitTelemetry registers one unit's instruments. The metric taxonomy
+// lives in docs/OBSERVABILITY.md; names are stable scrape API.
+func newUnitTelemetry(reg *telemetry.Registry, ch, shard int) *unitTelemetry {
+	ls := []telemetry.Label{
+		{Key: "channel", Value: strconv.Itoa(ch)},
+		{Key: "shard", Value: strconv.Itoa(shard)},
+	}
+	return &unitTelemetry{
+		demandReads: reg.Counter("planaria_demand_reads_total",
+			"Demand read requests observed by the system cache.", ls...),
+		demandWrites: reg.Counter("planaria_demand_writes_total",
+			"Demand write requests observed by the system cache.", ls...),
+		demandHits: reg.Counter("planaria_demand_hits_total",
+			"Demand accesses that hit in the system cache.", ls...),
+		demandMisses: reg.Counter("planaria_demand_misses_total",
+			"Demand accesses that missed in the system cache.", ls...),
+		prefIssued: reg.Counter("planaria_prefetch_issued_total",
+			"Prefetch requests issued to DRAM.", ls...),
+		lateHits: reg.Counter("planaria_prefetch_late_hits_total",
+			"Demand reads served by a prefetch still in flight.", ls...),
+		lateWait: reg.Histogram("planaria_prefetch_late_wait_cycles",
+			"Cycles a late-hit demand waited out of the in-flight prefetch's remaining latency.", ls...),
+		firstUseGap: reg.Histogram("planaria_prefetch_first_use_gap_cycles",
+			"Cycles between a prefetch fill landing and its first demand use (timeliness headroom).", ls...),
+	}
+}
+
+// newDRAMTelemetry registers one unit's DRAM-controller instruments.
+func newDRAMTelemetry(reg *telemetry.Registry, ch, shard int) *dram.Telemetry {
+	ls := []telemetry.Label{
+		{Key: "channel", Value: strconv.Itoa(ch)},
+		{Key: "shard", Value: strconv.Itoa(shard)},
+	}
+	return &dram.Telemetry{
+		DemandReadLatency: reg.Histogram(MetricDRAMDemandReadLatency,
+			"Total DRAM service latency of demand reads, queueing included.", ls...),
+		QueueDepth: reg.Histogram("planaria_dram_queue_depth",
+			"Controller queue occupancy observed at each enqueue.", ls...),
+		RowHits: reg.Counter("planaria_dram_row_hits_total",
+			"DRAM accesses serviced from an open row.", ls...),
+		RowMisses: reg.Counter("planaria_dram_row_misses_total",
+			"DRAM accesses that hit a row conflict (precharge + activate).", ls...),
+		RowEmpty: reg.Counter("planaria_dram_row_empty_total",
+			"DRAM accesses to a closed bank (activate only).", ls...),
+	}
 }
 
 // Engine is one simulation instance. Not safe for concurrent use by
@@ -355,6 +452,17 @@ func New(cfg Config) *Engine {
 				es.SetEventSink(cs.ev)
 			}
 		}
+		if cfg.Telemetry != nil {
+			shard := u % shards
+			cs.tel = newUnitTelemetry(cfg.Telemetry, ch, shard)
+			cs.dram.SetTelemetry(newDRAMTelemetry(cfg.Telemetry, ch, shard))
+			cs.cache.EnableFillStamps()
+			if ts, ok := pf.(telemetrySetter); ok {
+				ts.SetTelemetry(cfg.Telemetry,
+					telemetry.Label{Key: "channel", Value: strconv.Itoa(ch)},
+					telemetry.Label{Key: "shard", Value: strconv.Itoa(shard)})
+			}
+		}
 		e.units[u] = cs
 		if u == 0 {
 			e.pfName = pf.Name()
@@ -362,6 +470,14 @@ func New(cfg Config) *Engine {
 	}
 	if cfg.SampleEvery > 0 || cfg.SampleEveryCycles > 0 {
 		e.sampler = metrics.NewSampler(cfg.SampleEvery, cfg.SampleEveryCycles)
+	}
+	if cfg.Counters != nil && cfg.Telemetry != nil {
+		// Progress snapshots (the -progress printer, /progress) gain the
+		// live p99 demand latency from the merged telemetry histogram.
+		reg := cfg.Telemetry
+		cfg.Counters.SetLatencySource(func() (float64, bool) {
+			return reg.Quantile(MetricDRAMDemandReadLatency, 0.99)
+		})
 	}
 	return e
 }
@@ -418,6 +534,10 @@ func (e *Engine) Events() *events.Recorder { return e.recorder }
 // Counters returns the live progress counters, nil unless Config.Counters
 // was set.
 func (e *Engine) Counters() *events.RunCounters { return e.cfg.Counters }
+
+// Telemetry returns the live metrics registry, nil unless Config.Telemetry
+// was set. The registry is scrape-safe mid-run from any goroutine.
+func (e *Engine) Telemetry() *telemetry.Registry { return e.cfg.Telemetry }
 
 // DRAM exposes a channel's memory controller (debugging and tooling). With
 // sub-sharding enabled it returns the controller of the channel's first unit.
@@ -503,6 +623,11 @@ func (cs *channelState) commitPending(now uint64) error {
 			return err
 		}
 		cs.noteEvict(ev, p.ready)
+		if cs.tel != nil && !p.usedLate {
+			// Stamp the fill cycle so the first demand use can report the
+			// fill→use gap (pre-used fills were already credited late).
+			cs.cache.StampFill(p.block, p.ready)
+		}
 		if p.origin != 0 && p.usedLate {
 			cs.usefulOrigin[p.origin]++
 		}
@@ -568,6 +693,11 @@ func (cs *channelState) step(rec trace.Record) error {
 				Origin: cs.evOrigin(originID),
 			})
 		}
+		if cs.tel != nil {
+			if at, ok := cs.cache.FillStamp(blk); ok && rec.Cycle >= at {
+				cs.tel.firstUseGap.Record(rec.Cycle - at)
+			}
+		}
 	}
 	// late stays valid only until the next pending push; every use below
 	// happens before the issuing phase appends.
@@ -588,6 +718,18 @@ func (cs *channelState) step(rec trace.Record) error {
 		}
 		cs.ev.Emit(events.Event{Kind: events.KindDemand, Cycle: rec.Cycle, Block: blk, Flags: fl})
 	}
+	if cs.tel != nil {
+		if rec.Write {
+			cs.tel.demandWrites.Inc()
+		} else {
+			cs.tel.demandReads.Inc()
+		}
+		if hit {
+			cs.tel.demandHits.Inc()
+		} else {
+			cs.tel.demandMisses.Inc()
+		}
+	}
 	if rec.Write {
 		cs.demandWrites++
 	} else {
@@ -605,6 +747,10 @@ func (cs *channelState) step(rec trace.Record) error {
 					Kind: events.KindLateHit, Cycle: rec.Cycle, Block: blk,
 					Aux: late.ready, Origin: cs.evOrigin(late.origin),
 				})
+			}
+			if cs.tel != nil {
+				cs.tel.lateHits.Inc()
+				cs.tel.lateWait.Record(late.ready - rec.Cycle)
 			}
 		}
 	}
@@ -704,6 +850,9 @@ func (cs *channelState) step(rec trace.Record) error {
 			ready:  rec.Cycle + cs.cfg.PrefetchLatency,
 			origin: originID2,
 		})
+		if cs.tel != nil {
+			cs.tel.prefIssued.Inc()
+		}
 		if cs.ev != nil {
 			cs.ev.Emit(events.Event{
 				Kind: events.KindIssue, Cycle: rec.Cycle, Block: c,
@@ -883,6 +1032,9 @@ func (e *Engine) Finish(workload string) metrics.Report {
 	if rep.DemandReads > 0 {
 		rep.AMAT = float64(totalReadLat) / float64(rep.DemandReads)
 	}
+	// Telemetry summary (nil when disabled, so the report JSON — and with
+	// it the golden digests — is bit-identical to a telemetry-free run).
+	rep.Telemetry = e.cfg.Telemetry.Summary()
 	return rep
 }
 
